@@ -1,0 +1,182 @@
+package graphmaze
+
+// One benchmark per table and figure of the paper (DESIGN.md §4), each
+// regenerating its artifact through the experiment harness, plus kernel
+// benchmarks for every engine × algorithm pair. Run everything with
+//
+//	go test -bench=. -benchmem
+//
+// The benchmarks use the harness's quick mode so the whole suite completes
+// on a laptop; `cmd/graphbench` runs the same experiments at full size.
+
+import (
+	"io"
+	"testing"
+
+	"graphmaze/internal/harness"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	opt := harness.Options{Out: io.Discard, Quick: true, Iterations: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := harness.Run(id, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4NativeEfficiency regenerates Table 4: native efficiency
+// against memory/network limits, single-node and 4-node.
+func BenchmarkTable4NativeEfficiency(b *testing.B) { benchExperiment(b, "table4") }
+
+// BenchmarkTable5SingleNodeSlowdown regenerates Table 5: single-node
+// slowdowns of each framework vs native (geomean).
+func BenchmarkTable5SingleNodeSlowdown(b *testing.B) { benchExperiment(b, "table5") }
+
+// BenchmarkTable6MultiNodeSlowdown regenerates Table 6: 4-node slowdowns
+// of each framework vs native (geomean).
+func BenchmarkTable6MultiNodeSlowdown(b *testing.B) { benchExperiment(b, "table6") }
+
+// BenchmarkTable7SocialiteNetOpt regenerates Table 7: SociaLite
+// before/after the multi-socket + batching network optimization.
+func BenchmarkTable7SocialiteNetOpt(b *testing.B) { benchExperiment(b, "table7") }
+
+// BenchmarkFigure3SingleNode regenerates Figure 3's per-dataset
+// single-node runtime panels.
+func BenchmarkFigure3SingleNode(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFigure4WeakScaling regenerates Figure 4's weak-scaling panels.
+func BenchmarkFigure4WeakScaling(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFigure5LargeGraphs regenerates Figure 5: the large real-world
+// stand-ins on 4 and 16 nodes.
+func BenchmarkFigure5LargeGraphs(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFigure6SystemMetrics regenerates Figure 6: CPU utilization,
+// peak network bandwidth, memory footprint and bytes sent on 4-node runs.
+func BenchmarkFigure6SystemMetrics(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFigure7Ablation regenerates Figure 7: the native optimization
+// stage stack for PageRank and BFS.
+func BenchmarkFigure7Ablation(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkTriangleBitvectorAblation regenerates the §6.1.2 bit-vector
+// claim (≈2.2× for triangle counting).
+func BenchmarkTriangleBitvectorAblation(b *testing.B) { benchExperiment(b, "tcablation") }
+
+// BenchmarkGiraphPhasedSupersteps regenerates the §6.1.3 phased-superstep
+// memory comparison.
+func BenchmarkGiraphPhasedSupersteps(b *testing.B) { benchExperiment(b, "giraphsplit") }
+
+// BenchmarkSGDvsGD regenerates the §3.2 SGD-vs-GD convergence comparison.
+func BenchmarkSGDvsGD(b *testing.B) { benchExperiment(b, "sgdgd") }
+
+// ---- Kernel benchmarks: engine × algorithm on shared inputs ----
+
+func benchInputs(b *testing.B) (pr, bfs, tc *Graph, cf *Ratings) {
+	b.Helper()
+	var err error
+	if pr, err = Generate(Graph500{Scale: 12, EdgeFactor: 16, Seed: 9}, ForPageRank); err != nil {
+		b.Fatal(err)
+	}
+	if bfs, err = Generate(Graph500{Scale: 12, EdgeFactor: 16, Seed: 9}, ForBFS); err != nil {
+		b.Fatal(err)
+	}
+	if tc, err = Generate(Graph500{Scale: 12, EdgeFactor: 8, Seed: 9}, ForTriangles); err != nil {
+		b.Fatal(err)
+	}
+	if cf, err = GenerateRatings(11, 16, 9); err != nil {
+		b.Fatal(err)
+	}
+	return pr, bfs, tc, cf
+}
+
+// BenchmarkPageRank measures one engine iteration of PageRank per engine.
+func BenchmarkPageRank(b *testing.B) {
+	g, _, _, _ := benchInputs(b)
+	for _, eng := range Engines() {
+		b.Run(eng.Name(), func(b *testing.B) {
+			b.SetBytes(g.NumEdges() * 12)
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.PageRank(g, PageRankOptions{Iterations: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBFS measures a full traversal per engine.
+func BenchmarkBFS(b *testing.B) {
+	_, g, _, _ := benchInputs(b)
+	for _, eng := range Engines() {
+		b.Run(eng.Name(), func(b *testing.B) {
+			b.SetBytes(g.NumEdges() * 8)
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.BFS(g, BFSOptions{Source: 0}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTriangleCount measures the full count per engine.
+func BenchmarkTriangleCount(b *testing.B) {
+	_, _, g, _ := benchInputs(b)
+	for _, eng := range Engines() {
+		b.Run(eng.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.TriangleCount(g, TriangleOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCollabFilter measures one optimizer iteration per engine
+// (SGD where expressible, GD elsewhere — the paper's comparison).
+func BenchmarkCollabFilter(b *testing.B) {
+	_, _, _, cf := benchInputs(b)
+	for _, eng := range Engines() {
+		b.Run(eng.Name(), func(b *testing.B) {
+			method := GradientDescent
+			if eng.Capabilities().SGD {
+				method = SGD
+			}
+			opt := CFOptions{Method: method, K: 8, Iterations: 1, Seed: 9, SkipRMSETrajectory: true}
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.CollabFilter(cf, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPageRankCluster measures the simulated 4-node PageRank for the
+// multi-node engines (modeled network time excluded from host wall time —
+// this benchmark reports the host cost of the simulation itself).
+func BenchmarkPageRankCluster(b *testing.B) {
+	g, _, _, _ := benchInputs(b)
+	for _, eng := range Engines() {
+		if !eng.Capabilities().MultiNode {
+			continue
+		}
+		b.Run(eng.Name(), func(b *testing.B) {
+			opt := PageRankOptions{Iterations: 2, Exec: Exec{Cluster: &ClusterConfig{Nodes: 4}}}
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.PageRank(g, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGiraphRoadmap regenerates the §6.2 Giraph-roadmap comparison
+// (message combiners + more workers vs the stock configuration).
+func BenchmarkGiraphRoadmap(b *testing.B) { benchExperiment(b, "giraphfix") }

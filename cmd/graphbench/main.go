@@ -1,0 +1,61 @@
+// Command graphbench reproduces the tables and figures of "Navigating the
+// Maze of Graph Analytics Frameworks using Massive Graph Datasets"
+// (SIGMOD 2014).
+//
+// Usage:
+//
+//	graphbench -list
+//	graphbench -exp table5
+//	graphbench -exp fig4 -nodes 1,4,16,64 -scale 12
+//	graphbench -exp all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"graphmaze/internal/harness"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list  = flag.Bool("list", false, "list available experiments")
+		scale = flag.Int("scale", 0, "override the base RMAT scale (0 = experiment default)")
+		nodes = flag.String("nodes", "", "comma-separated node counts for scaling experiments")
+		iters = flag.Int("iters", 0, "iterations for iterative algorithms (0 = default)")
+		quick = flag.Bool("quick", false, "shrink inputs for a fast smoke run")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range harness.Experiments() {
+			fmt.Printf("  %-12s %s\n", e.ID, e.Title)
+		}
+		fmt.Println("  all          run everything")
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	opt := harness.Options{Out: os.Stdout, Scale: *scale, Iterations: *iters, Quick: *quick}
+	if *nodes != "" {
+		for _, part := range strings.Split(*nodes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "graphbench: bad -nodes entry %q\n", part)
+				os.Exit(2)
+			}
+			opt.Nodes = append(opt.Nodes, n)
+		}
+	}
+	if err := harness.Run(*exp, opt); err != nil {
+		fmt.Fprintln(os.Stderr, "graphbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,142 @@
+// Command validate cross-checks every engine against the serial reference
+// implementations on shared inputs — the correctness precondition behind
+// all of the paper's performance comparisons.
+//
+// Usage:
+//
+//	validate            # default scale 10
+//	validate -scale 12 -nodes 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"graphmaze/internal/cluster"
+	"graphmaze/internal/core"
+	"graphmaze/internal/gen"
+	"graphmaze/internal/graph"
+
+	"graphmaze/internal/combblas"
+	"graphmaze/internal/galois"
+	"graphmaze/internal/giraph"
+	"graphmaze/internal/graphlab"
+	"graphmaze/internal/native"
+	"graphmaze/internal/socialite"
+)
+
+func main() {
+	var (
+		scale = flag.Int("scale", 10, "RMAT scale of the validation inputs")
+		nodes = flag.Int("nodes", 1, "also validate simulated cluster runs at this node count (1 = single-node only)")
+		seed  = flag.Int64("seed", 42, "generator seed")
+	)
+	flag.Parse()
+
+	engines := []core.Engine{
+		native.New(), combblas.New(), graphlab.New(),
+		socialite.New(), giraph.New(), galois.New(),
+	}
+
+	build := func(opt graph.BuildOptions, cfg gen.RMATConfig) *graph.CSR {
+		edges, err := gen.RMAT(cfg)
+		check(err)
+		b := graph.NewBuilder(cfg.NumVertices())
+		b.AddEdges(edges)
+		g, err := b.Build(opt)
+		check(err)
+		return g
+	}
+	prG := build(graph.BuildOptions{Dedup: true, DropSelfLoops: true, SortAdjacency: true}, gen.Graph500Config(*scale, 16, *seed))
+	bfsG := build(graph.BuildOptions{Orientation: graph.Symmetrize, Dedup: true, DropSelfLoops: true, SortAdjacency: true}, gen.Graph500Config(*scale, 16, *seed+1))
+	tcG := build(graph.BuildOptions{Orientation: graph.OrientAcyclic, Dedup: true, SortAdjacency: true}, gen.TriangleConfig(*scale, 8, *seed+2))
+	cf, err := gen.Ratings(gen.DefaultRatingsConfig(*scale, 16, *seed+3))
+	check(err)
+
+	wantPR := core.RefPageRank(prG, core.PageRankOptions{Iterations: 5})
+	wantBFS := core.RefBFS(bfsG, 0)
+	wantTC := core.RefTriangleCount(tcG)
+	fmt.Printf("inputs: scale %d — PR %d edges, BFS %d, TC %d (reference: %d triangles), CF %d ratings\n",
+		*scale, prG.NumEdges(), bfsG.NumEdges(), tcG.NumEdges(), wantTC, cf.NumRatings())
+
+	failures := 0
+	runs := []struct {
+		label string
+		exec  core.Exec
+	}{{"single-node", core.Exec{}}}
+	if *nodes > 1 {
+		runs = append(runs, struct {
+			label string
+			exec  core.Exec
+		}{fmt.Sprintf("%d-node", *nodes), core.Exec{Cluster: &cluster.Config{Nodes: *nodes}}})
+	}
+
+	for _, run := range runs {
+		for _, e := range engines {
+			if run.exec.Cluster != nil && !e.Capabilities().MultiNode {
+				fmt.Printf("%-10s %-10s skip (single-node framework)\n", e.Name(), run.label)
+				continue
+			}
+			report := func(algo string, err error) {
+				if err != nil {
+					failures++
+					fmt.Printf("%-10s %-10s %-14s FAIL: %v\n", e.Name(), run.label, algo, err)
+				} else {
+					fmt.Printf("%-10s %-10s %-14s ok\n", e.Name(), run.label, algo)
+				}
+			}
+
+			pr, err := e.PageRank(prG, core.PageRankOptions{Iterations: 5, Exec: run.exec})
+			if err == nil {
+				if d := core.ComparePageRank(wantPR, pr.Ranks); d > 1e-4 {
+					err = fmt.Errorf("max relative rank diff %v", d)
+				}
+			}
+			report("pagerank", err)
+
+			bfs, err := e.BFS(bfsG, core.BFSOptions{Source: 0, Exec: run.exec})
+			if err == nil && !core.EqualDistances(wantBFS, bfs.Distances) {
+				err = fmt.Errorf("distance vector mismatch")
+			}
+			if err == nil {
+				// Graph500-style structural validation of the BFS output.
+				err = core.ValidateBFS(bfsG, 0, bfs.Distances)
+			}
+			report("bfs", err)
+
+			tc, err := e.TriangleCount(tcG, core.TriangleOptions{Exec: run.exec})
+			if err == nil && tc.Count != wantTC {
+				err = fmt.Errorf("count %d, want %d", tc.Count, wantTC)
+			}
+			report("triangles", err)
+
+			method := core.GradientDescent
+			if e.Capabilities().SGD {
+				method = core.SGD
+			}
+			cfr, err := e.CollabFilter(cf, core.CFOptions{Method: method, K: 8, Iterations: 4, Seed: 7, Exec: run.exec})
+			if err == nil {
+				if !core.MonotonicallyNonIncreasing(cfr.RMSE, 1e-3) {
+					err = fmt.Errorf("RMSE not non-increasing: %v", cfr.RMSE)
+				} else if last := cfr.RMSE[len(cfr.RMSE)-1]; last >= cfr.RMSE[0] && len(cfr.RMSE) > 1 {
+					err = fmt.Errorf("RMSE did not improve: %v", cfr.RMSE)
+				}
+			}
+			report("collabfilter", err)
+		}
+	}
+
+	if failures > 0 {
+		fmt.Printf("%d validation failures\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("all engines agree with the reference")
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,157 @@
+package graphmaze
+
+import (
+	"errors"
+	"testing"
+
+	"graphmaze/internal/core"
+)
+
+// The conformance suite: every engine must enforce the shared input
+// contract identically, so a user can swap engines without changing
+// validation behaviour.
+
+func conformanceInputs(t *testing.T) (*Graph, *Graph, *Graph, *Ratings) {
+	t.Helper()
+	pr, err := Generate(Graph500{Scale: 7, EdgeFactor: 6, Seed: 31}, ForPageRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfs, err := Generate(Graph500{Scale: 7, EdgeFactor: 6, Seed: 31}, ForBFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := Generate(Graph500{Scale: 7, EdgeFactor: 6, Seed: 31}, ForTriangles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := GenerateRatings(9, 16, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr, bfs, tc, cf
+}
+
+func TestConformanceRejectsBadOptions(t *testing.T) {
+	pr, bfs, _, cf := conformanceInputs(t)
+	for _, eng := range Engines() {
+		t.Run(eng.Name(), func(t *testing.T) {
+			if _, err := eng.PageRank(pr, PageRankOptions{RandomJump: 2}); err == nil {
+				t.Error("accepted random jump > 1")
+			}
+			if _, err := eng.PageRank(pr, PageRankOptions{Iterations: -1}); err == nil {
+				t.Error("accepted negative iterations")
+			}
+			if _, err := eng.BFS(bfs, BFSOptions{Source: bfs.NumVertices + 1}); err == nil {
+				t.Error("accepted out-of-range BFS source")
+			}
+			if _, err := eng.CollabFilter(cf, CFOptions{K: -1}); err == nil {
+				t.Error("accepted negative latent dimension")
+			}
+			if _, err := eng.CollabFilter(cf, CFOptions{StepDecay: 5}); err == nil {
+				t.Error("accepted step decay > 1")
+			}
+		})
+	}
+}
+
+func TestConformanceRejectsUnsortedTriangleInput(t *testing.T) {
+	// Triangle counting requires the sorted acyclic preparation; a graph
+	// built raw (NewGraph never sorts) must be rejected by every engine.
+	g, err := Generate(Graph500{Scale: 6, EdgeFactor: 4, Seed: 33}, ForTriangles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := NewGraph(g.NumVertices, g.Edges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range Engines() {
+		if _, err := eng.TriangleCount(raw, TriangleOptions{}); err == nil {
+			t.Errorf("%s accepted unsorted adjacency", eng.Name())
+		}
+	}
+}
+
+func TestConformanceSingleNodeOnlyEngines(t *testing.T) {
+	pr, bfs, tc, cf := conformanceInputs(t)
+	exec := Exec{Cluster: &ClusterConfig{Nodes: 2}}
+	for _, eng := range Engines() {
+		caps := eng.Capabilities()
+		_, prErr := eng.PageRank(pr, PageRankOptions{Iterations: 2, Exec: exec})
+		_, bfsErr := eng.BFS(bfs, BFSOptions{Source: 0, Exec: exec})
+		_, tcErr := eng.TriangleCount(tc, TriangleOptions{Exec: exec})
+		_, cfErr := eng.CollabFilter(cf, CFOptions{K: 4, Iterations: 1, Exec: exec})
+		if caps.MultiNode {
+			for algo, err := range map[string]error{"pagerank": prErr, "bfs": bfsErr, "triangles": tcErr, "cf": cfErr} {
+				// CombBLAS legitimately rejects non-square node counts.
+				if err != nil && eng.Name() != "CombBLAS" {
+					t.Errorf("%s %s: multi-node engine errored: %v", eng.Name(), algo, err)
+				}
+			}
+		} else {
+			for algo, err := range map[string]error{"pagerank": prErr, "bfs": bfsErr, "triangles": tcErr, "cf": cfErr} {
+				if !errors.Is(err, core.ErrSingleNodeOnly) {
+					t.Errorf("%s %s: expected ErrSingleNodeOnly, got %v", eng.Name(), algo, err)
+				}
+			}
+		}
+	}
+}
+
+func TestConformanceStatsPopulated(t *testing.T) {
+	pr, _, _, _ := conformanceInputs(t)
+	for _, eng := range Engines() {
+		res, err := eng.PageRank(pr, PageRankOptions{Iterations: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if res.Stats.WallSeconds <= 0 {
+			t.Errorf("%s: WallSeconds = %v", eng.Name(), res.Stats.WallSeconds)
+		}
+		if res.Stats.Iterations <= 0 {
+			t.Errorf("%s: Iterations = %d", eng.Name(), res.Stats.Iterations)
+		}
+		if res.Stats.Simulated {
+			t.Errorf("%s: single-node run marked simulated", eng.Name())
+		}
+	}
+}
+
+// TestRandomizedEngineAgreement: a randomized property over seeds — every
+// engine must agree with the reference on arbitrary RMAT inputs, not just
+// the fixed fixtures.
+func TestRandomizedEngineAgreement(t *testing.T) {
+	for seed := int64(100); seed < 106; seed++ {
+		tcG, err := Generate(Graph500{Scale: 7, EdgeFactor: 6, Seed: seed}, ForTriangles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bfsG, err := Generate(Graph500{Scale: 7, EdgeFactor: 6, Seed: seed}, ForBFS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantTC := core.RefTriangleCount(tcG)
+		source := uint32(seed) % bfsG.NumVertices
+		wantBFS := core.RefBFS(bfsG, source)
+		for _, eng := range Engines() {
+			tc, err := eng.TriangleCount(tcG, TriangleOptions{})
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, eng.Name(), err)
+			}
+			if tc.Count != wantTC {
+				t.Errorf("seed %d: %s counts %d, want %d", seed, eng.Name(), tc.Count, wantTC)
+			}
+			bfs, err := eng.BFS(bfsG, BFSOptions{Source: source})
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, eng.Name(), err)
+			}
+			if !core.EqualDistances(wantBFS, bfs.Distances) {
+				t.Errorf("seed %d: %s BFS differs", seed, eng.Name())
+			}
+			if err := core.ValidateBFS(bfsG, source, bfs.Distances); err != nil {
+				t.Errorf("seed %d: %s BFS fails Graph500 validation: %v", seed, eng.Name(), err)
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package graphmaze_test
+
+import (
+	"fmt"
+
+	"graphmaze"
+)
+
+// Generate a synthetic graph and rank it with the native engine.
+func Example() {
+	g, err := graphmaze.Generate(graphmaze.Graph500{Scale: 10, EdgeFactor: 8, Seed: 1}, graphmaze.ForPageRank)
+	if err != nil {
+		panic(err)
+	}
+	res, err := graphmaze.Native().PageRank(g, graphmaze.PageRankOptions{Iterations: 10})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(res.Ranks) == int(g.NumVertices))
+	// Output: true
+}
+
+// Every framework engine answers the same question; only the programming
+// model (and its cost) differs.
+func ExampleEngines() {
+	g, err := graphmaze.Generate(graphmaze.Graph500{Scale: 8, EdgeFactor: 8, Seed: 2}, graphmaze.ForTriangles)
+	if err != nil {
+		panic(err)
+	}
+	counts := map[int64]bool{}
+	for _, eng := range graphmaze.Engines() {
+		res, err := eng.TriangleCount(g, graphmaze.TriangleOptions{})
+		if err != nil {
+			panic(err)
+		}
+		counts[res.Count] = true
+	}
+	fmt.Println("engines:", len(graphmaze.Engines()), "distinct answers:", len(counts))
+	// Output: engines: 6 distinct answers: 1
+}
+
+// Run on a simulated 4-node cluster and inspect the system metrics the
+// paper's Figure 6 reports.
+func ExampleClusterConfig() {
+	g, err := graphmaze.Generate(graphmaze.Graph500{Scale: 9, EdgeFactor: 8, Seed: 3}, graphmaze.ForPageRank)
+	if err != nil {
+		panic(err)
+	}
+	res, err := graphmaze.Native().PageRank(g, graphmaze.PageRankOptions{
+		Iterations: 5,
+		Exec:       graphmaze.Exec{Cluster: &graphmaze.ClusterConfig{Nodes: 4}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	rep := res.Stats.Report
+	fmt.Println(rep.Nodes, rep.BytesSent > 0, rep.SimulatedSeconds > 0)
+	// Output: 4 true true
+}
+
+// Only Native and Galois can express stochastic gradient descent — the
+// paper's Table 2 expressibility finding.
+func ExampleCFOptions() {
+	ratings, err := graphmaze.GenerateRatings(9, 16, 4)
+	if err != nil {
+		panic(err)
+	}
+	for _, eng := range []graphmaze.Engine{graphmaze.Native(), graphmaze.GraphLab(), graphmaze.Galois()} {
+		_, err := eng.CollabFilter(ratings, graphmaze.CFOptions{Method: graphmaze.SGD, K: 4, Iterations: 1})
+		fmt.Printf("%s: %v\n", eng.Name(), err == nil)
+	}
+	// Output:
+	// Native: true
+	// GraphLab: false
+	// Galois: true
+}
+
+// Query a graph declaratively through the SociaLite Datalog engine.
+func ExampleDatalog() {
+	g, err := graphmaze.Generate(graphmaze.Graph500{Scale: 8, EdgeFactor: 8, Seed: 5}, graphmaze.ForTriangles)
+	if err != nil {
+		panic(err)
+	}
+	db := graphmaze.NewDatalog()
+	db.AddEdgeTable("EDGE", g)
+	tri := db.AddTable("TRIANGLE", 1)
+	if err := db.Eval("TRIANGLE(0, $INC(1)) :- EDGE(x,y), EDGE(y,z), EDGE(x,z)."); err != nil {
+		panic(err)
+	}
+	count, ok := tri.Get(0)
+	fmt.Println(ok, count > 0)
+	// Output: true true
+}

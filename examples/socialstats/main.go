@@ -1,0 +1,84 @@
+// Socialstats computes graph statistics on a social-network stand-in:
+// triangle count (clustering) and a BFS distance histogram (degrees of
+// separation), across several frameworks — the paper's "graph statistics"
+// workload class.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"graphmaze"
+)
+
+func main() {
+	// The Facebook user-interaction stand-in (paper Table 3).
+	tg, err := graphmaze.Dataset("facebook", graphmaze.ForTriangles)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ug, err := graphmaze.Dataset("facebook", graphmaze.ForBFS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("facebook stand-in: %d users, %d friendships\n\n", ug.NumVertices, ug.NumEdges()/2)
+
+	// Triangle counting across the engines that shine (and struggle) at it
+	// in the paper: GraphLab's cuckoo hashing, CombBLAS's A² product.
+	fmt.Println("triangles:")
+	var triangles int64
+	for _, eng := range graphmaze.Engines() {
+		res, err := eng.TriangleCount(tg, graphmaze.TriangleOptions{})
+		if err != nil {
+			log.Fatalf("%s: %v", eng.Name(), err)
+		}
+		triangles = res.Count
+		fmt.Printf("  %-12s %d triangles in %.2fms\n", eng.Name(), res.Count, 1e3*res.Stats.WallSeconds)
+	}
+
+	// Global clustering coefficient from the triangle count.
+	var wedges int64
+	for v := uint32(0); v < ug.NumVertices; v++ {
+		d := ug.Degree(v)
+		wedges += d * (d - 1) / 2
+	}
+	if wedges > 0 {
+		fmt.Printf("\nglobal clustering coefficient: %.4f\n", 3*float64(triangles)/float64(wedges))
+	}
+
+	// Degrees of separation: BFS from the most-connected user.
+	hub := uint32(0)
+	for v := uint32(0); v < ug.NumVertices; v++ {
+		if ug.Degree(v) > ug.Degree(hub) {
+			hub = v
+		}
+	}
+	bfs, err := graphmaze.Native().BFS(ug, graphmaze.BFSOptions{Source: hub})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hist := map[int32]int{}
+	unreachable := 0
+	for _, d := range bfs.Distances {
+		if d < 0 {
+			unreachable++
+			continue
+		}
+		hist[d]++
+	}
+	fmt.Printf("\ndegrees of separation from user %d (degree %d):\n", hub, ug.Degree(hub))
+	for d := int32(0); ; d++ {
+		count, ok := hist[d]
+		if !ok {
+			break
+		}
+		bar := ""
+		for i := 0; i < 40*count/len(bfs.Distances)+1; i++ {
+			bar += "#"
+		}
+		fmt.Printf("  %2d hops: %7d users %s\n", d, count, bar)
+	}
+	if unreachable > 0 {
+		fmt.Printf("  unreachable: %d users\n", unreachable)
+	}
+}

@@ -1,0 +1,107 @@
+// Webranker ranks a web-style link graph with PageRank and compares the
+// same computation across every framework's programming model, single-node
+// and on a simulated 4-node cluster — a miniature of the paper's Figure 3
+// and 4 panels for one workload.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"graphmaze"
+)
+
+func main() {
+	// The Wikipedia link-graph stand-in (paper Table 3).
+	g, err := graphmaze.Dataset("wikipedia", graphmaze.ForPageRank)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wikipedia stand-in: %d pages, %d links\n\n", g.NumVertices, g.NumEdges())
+
+	opt := graphmaze.PageRankOptions{Iterations: 10}
+
+	// Single-node comparison across all six engines.
+	fmt.Println("engine       time/iteration    top-rank agreement")
+	var reference []float64
+	for _, eng := range graphmaze.Engines() {
+		res, err := eng.PageRank(g, opt)
+		if err != nil {
+			log.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if reference == nil {
+			reference = res.Ranks
+		}
+		fmt.Printf("%-12s %10.3fms        top-10 match: %v\n",
+			eng.Name(), 1e3*res.Stats.WallSeconds/float64(res.Stats.Iterations),
+			sameTop(reference, res.Ranks, 10))
+	}
+
+	// Distributed run on a simulated 4-node cluster with system metrics —
+	// the quantities of the paper's Figure 6.
+	fmt.Println("\n4-node simulated cluster:")
+	for _, eng := range graphmaze.Engines() {
+		if !eng.Capabilities().MultiNode {
+			fmt.Printf("%-12s single-node only\n", eng.Name())
+			continue
+		}
+		res, err := eng.PageRank(g, graphmaze.PageRankOptions{Iterations: 10,
+			Exec: graphmaze.Exec{Cluster: &graphmaze.ClusterConfig{Nodes: 4, MemoryPerNode: 64 << 30}}})
+		if err != nil {
+			log.Fatalf("%s: %v", eng.Name(), err)
+		}
+		fmt.Printf("%-12s %s\n", eng.Name(), res.Stats.Report)
+	}
+
+	// Print the ten most-linked pages by rank.
+	type ranked struct {
+		id   uint32
+		rank float64
+	}
+	pages := make([]ranked, len(reference))
+	for v, r := range reference {
+		pages[v] = ranked{uint32(v), r}
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i].rank > pages[j].rank })
+	fmt.Println("\ntop pages:")
+	for _, p := range pages[:10] {
+		fmt.Printf("  page %-8d rank %.2f  (in-degree %d)\n", p.id, p.rank, inDegree(g, p.id))
+	}
+}
+
+// sameTop reports whether the top-k vertices by rank agree between two
+// rank vectors.
+func sameTop(a, b []float64, k int) bool {
+	top := func(r []float64) map[uint32]bool {
+		idx := make([]uint32, len(r))
+		for i := range idx {
+			idx[i] = uint32(i)
+		}
+		sort.Slice(idx, func(i, j int) bool { return r[idx[i]] > r[idx[j]] })
+		out := map[uint32]bool{}
+		for _, v := range idx[:k] {
+			out[v] = true
+		}
+		return out
+	}
+	ta, tb := top(a), top(b)
+	for v := range ta {
+		if !tb[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func inDegree(g *graphmaze.Graph, v uint32) int64 {
+	var d int64
+	for u := uint32(0); u < g.NumVertices; u++ {
+		for _, t := range g.Neighbors(u) {
+			if t == v {
+				d++
+			}
+		}
+	}
+	return d
+}

@@ -1,0 +1,3 @@
+module graphmaze
+
+go 1.22

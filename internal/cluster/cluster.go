@@ -1,0 +1,274 @@
+// Package cluster simulates the multi-node testbed of the paper (§4.3): a
+// set of compute nodes connected by an interconnect driven through one of
+// several communication layers (MPI, sockets, netty).
+//
+// Substitution note (DESIGN.md §3): we have no 64-node InfiniBand cluster,
+// so algorithm compute runs as real Go code on real data — one logical node
+// at a time, so per-node times are cleanly measured — while the network is
+// a model: each phase charges latency·messages + bytes/bandwidth of virtual
+// time per node. Run time, bytes sent, peak bandwidth, CPU utilization, and
+// memory footprint are all derived from this ground truth, which is exactly
+// the set of quantities the paper's multi-node analysis rests on.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"graphmaze/internal/metrics"
+)
+
+// CommLayer models a communication substrate: the peak bandwidth a node
+// can drive and the per-message software latency. The presets are
+// calibrated to the paper's measurements (Figure 6 and §6.1.3).
+type CommLayer struct {
+	Name      string
+	Bandwidth float64 // bytes/second per node
+	Latency   float64 // seconds per message
+}
+
+// MPI is the native/CombBLAS layer: FDR InfiniBand driven by MPI, the
+// paper's 5.5 GB/s/node peak.
+func MPI() CommLayer { return CommLayer{Name: "mpi", Bandwidth: 5.5e9, Latency: 2e-6} }
+
+// SingleSocket is one TCP socket pair per node pair over IPoIB — what
+// unoptimized SociaLite used (the paper measured "poor peak network
+// performance of about 0.5 GBps", §6.1.3).
+func SingleSocket() CommLayer {
+	return CommLayer{Name: "socket", Bandwidth: 0.5e9, Latency: 3e-5}
+}
+
+// IPoIBSockets is GraphLab's socket stack: the paper measures it at 20–25%
+// of the 5.5 GB/s hardware peak (§6.2).
+func IPoIBSockets() CommLayer {
+	return CommLayer{Name: "ipoib", Bandwidth: 1.2e9, Latency: 3e-5}
+}
+
+// MultiSocket is several parallel sockets per node pair, the paper's
+// SociaLite optimization (§6.1.3, "close to 2 GBps").
+func MultiSocket() CommLayer {
+	return CommLayer{Name: "multisocket", Bandwidth: 2.0e9, Latency: 3e-5}
+}
+
+// Netty is Giraph's network I/O library: under 0.5 GB/s with high
+// per-message cost (the paper measures <10% network utilization).
+func Netty() CommLayer { return CommLayer{Name: "netty", Bandwidth: 0.35e9, Latency: 6e-5} }
+
+// Config sizes a simulated cluster.
+type Config struct {
+	// Nodes is the number of logical machines.
+	Nodes int
+	// ThreadsPerNode is the provisioned hardware thread count (the paper's
+	// nodes expose 48); utilization is normalized against it.
+	ThreadsPerNode int
+	// WorkersPerNode is how many threads the engine actually keeps busy
+	// (Giraph: 4). Defaults to ThreadsPerNode.
+	WorkersPerNode int
+	// Comm is the communication layer model.
+	Comm CommLayer
+	// Overlap enables compute/communication overlap: a phase costs
+	// max(compute, net) instead of compute+net (paper §6.1.1).
+	Overlap bool
+	// MemoryPerNode is the modeled node memory capacity (the paper's 64
+	// GB), used only for normalizing the footprint metric. 0 disables
+	// normalization.
+	MemoryPerNode int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ThreadsPerNode == 0 {
+		c.ThreadsPerNode = 48
+	}
+	if c.WorkersPerNode == 0 {
+		c.WorkersPerNode = c.ThreadsPerNode
+	}
+	if c.Comm.Bandwidth == 0 {
+		c.Comm = MPI()
+	}
+	return c
+}
+
+// Validate reports the first problem with the configuration.
+func (c Config) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("cluster: need at least one node, got %d", c.Nodes)
+	}
+	if c.ThreadsPerNode < 0 || c.WorkersPerNode < 0 {
+		return fmt.Errorf("cluster: negative thread counts")
+	}
+	if c.WorkersPerNode > c.ThreadsPerNode && c.ThreadsPerNode != 0 {
+		return fmt.Errorf("cluster: %d workers exceed %d provisioned threads", c.WorkersPerNode, c.ThreadsPerNode)
+	}
+	if c.Comm.Bandwidth < 0 || c.Comm.Latency < 0 {
+		return fmt.Errorf("cluster: negative comm parameters")
+	}
+	return nil
+}
+
+// Cluster is a simulated machine group. Engines structure distributed
+// algorithms as a sequence of phases: within RunPhase each node's compute
+// function runs and may Send messages; messages are delivered at the start
+// of the next phase via Recv.
+//
+// A Cluster is not safe for concurrent RunPhase calls, but within a phase
+// each node may only touch its own mailboxes, so the per-node compute
+// functions need no locking.
+type Cluster struct {
+	cfg       Config
+	collector *metrics.Collector
+
+	outbox      [][][]byte // [from][to] payloads queued this phase
+	inbox       [][][]byte // [node] payloads delivered from last phase
+	extraBytes  []int64    // accounted-only traffic per node this phase
+	extraMsgs   []int64
+	baselineMem []int64 // engine-declared resident bytes per node
+	phases      int
+}
+
+// New returns a cluster for the given configuration.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:         cfg,
+		collector:   metrics.NewCollector(cfg.Nodes, cfg.ThreadsPerNode, cfg.MemoryPerNode),
+		inbox:       make([][][]byte, cfg.Nodes),
+		extraBytes:  make([]int64, cfg.Nodes),
+		extraMsgs:   make([]int64, cfg.Nodes),
+		baselineMem: make([]int64, cfg.Nodes),
+	}
+	c.resetOutbox()
+	return c, nil
+}
+
+func (c *Cluster) resetOutbox() {
+	c.outbox = make([][][]byte, c.cfg.Nodes)
+	for i := range c.outbox {
+		c.outbox[i] = make([][]byte, c.cfg.Nodes)
+	}
+	for i := range c.extraBytes {
+		c.extraBytes[i], c.extraMsgs[i] = 0, 0
+	}
+}
+
+// Nodes reports the node count.
+func (c *Cluster) Nodes() int { return c.cfg.Nodes }
+
+// Config returns the cluster's (defaulted) configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Send queues payload from node `from` to node `to`; it is delivered at
+// the next phase boundary. Self-sends are delivered but charged no network
+// time. The payload is retained, not copied.
+func (c *Cluster) Send(from, to int, payload []byte) {
+	if existing := c.outbox[from][to]; existing != nil {
+		c.outbox[from][to] = append(existing, payload...)
+		return
+	}
+	c.outbox[from][to] = payload
+}
+
+// Account charges traffic from node `from` without materializing a
+// payload — for engines that compute transfer volumes analytically.
+func (c *Cluster) Account(from int, bytes, messages int64) {
+	c.extraBytes[from] += bytes
+	c.extraMsgs[from] += messages
+}
+
+// Recv returns the payloads delivered to node at the last phase boundary,
+// in sender order (one entry per sender that sent, including itself).
+func (c *Cluster) Recv(node int) [][]byte { return c.inbox[node] }
+
+// SetBaselineMemory declares node's resident data size (graph partition,
+// vertex state). Message buffers are added on top automatically each
+// phase.
+func (c *Cluster) SetBaselineMemory(node int, bytes int64) {
+	c.baselineMem[node] = bytes
+	c.collector.RecordMemory(node, bytes)
+}
+
+// RecordMemory raises node's footprint high-water mark (for engine-private
+// scratch structures).
+func (c *Cluster) RecordMemory(node int, bytes int64) {
+	c.collector.RecordMemory(node, bytes)
+}
+
+// RunPhase executes compute(node) for every node, measures each node's
+// compute time, then models the message exchange and advances the virtual
+// clock. It returns the first compute error, which aborts the exchange.
+func (c *Cluster) RunPhase(compute func(node int) error) error {
+	computeSec := make([]float64, c.cfg.Nodes)
+	for n := 0; n < c.cfg.Nodes; n++ {
+		start := time.Now()
+		if err := compute(n); err != nil {
+			return fmt.Errorf("cluster: node %d phase %d: %w", n, c.phases, err)
+		}
+		computeSec[n] = time.Since(start).Seconds()
+	}
+
+	// Tally per-node traffic and charge network time.
+	var maxCompute, maxNet float64
+	var busy float64
+	for n := 0; n < c.cfg.Nodes; n++ {
+		var bytes, msgs int64
+		for to, payload := range c.outbox[n] {
+			if to == n || payload == nil {
+				continue
+			}
+			bytes += int64(len(payload))
+			msgs++
+		}
+		bytes += c.extraBytes[n]
+		msgs += c.extraMsgs[n]
+		net := c.cfg.Comm.Latency*float64(msgs) + float64(bytes)/c.cfg.Comm.Bandwidth
+		achieved := 0.0
+		if net > 0 {
+			achieved = float64(bytes) / net
+		}
+		c.collector.AddTraffic(bytes, msgs, achieved)
+		if net > maxNet {
+			maxNet = net
+		}
+		if computeSec[n] > maxCompute {
+			maxCompute = computeSec[n]
+		}
+		busy += computeSec[n] * float64(min(c.cfg.WorkersPerNode, c.cfg.ThreadsPerNode))
+
+		// Message buffers live alongside the baseline data.
+		var bufBytes int64
+		for _, payload := range c.outbox[n] {
+			bufBytes += int64(len(payload))
+		}
+		c.collector.RecordMemory(n, c.baselineMem[n]+bufBytes)
+	}
+
+	wall := maxCompute + maxNet
+	if c.cfg.Overlap {
+		wall = max(maxCompute, maxNet)
+	}
+	c.collector.AddPhase(wall, maxCompute, maxNet, busy)
+
+	// Deliver: inbox[to] gets every non-nil payload addressed to it.
+	for to := 0; to < c.cfg.Nodes; to++ {
+		var delivered [][]byte
+		for from := 0; from < c.cfg.Nodes; from++ {
+			if p := c.outbox[from][to]; p != nil {
+				delivered = append(delivered, p)
+				// Receive buffers also occupy memory at the receiver.
+				c.collector.RecordMemory(to, c.baselineMem[to]+int64(len(p)))
+			}
+		}
+		c.inbox[to] = delivered
+	}
+	c.resetOutbox()
+	c.phases++
+	return nil
+}
+
+// Phases reports how many phases have completed.
+func (c *Cluster) Phases() int { return c.phases }
+
+// Report finalizes and returns the run's metrics.
+func (c *Cluster) Report() metrics.Report { return c.collector.Report() }

@@ -1,0 +1,183 @@
+// Package codec implements the message-compression schemes the paper's
+// native code uses for inter-node traffic (§6.1.1, "Data Compression"):
+// delta coding with variable-length integers for sparse sorted id lists,
+// and bit-vector coding for dense ones. BFS and PageRank boundary traffic
+// compresses 2–3× with these, which is where the paper's 2.2–3.2× network
+// wins come from.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// Scheme identifies a wire encoding.
+type Scheme byte
+
+const (
+	// Raw stores 4-byte little-endian ids.
+	Raw Scheme = iota
+	// DeltaVarint stores sorted ids as varint-coded gaps.
+	DeltaVarint
+	// Bitvector stores a dense bitmap over the id universe.
+	Bitvector
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case Raw:
+		return "raw"
+	case DeltaVarint:
+		return "delta+varint"
+	case Bitvector:
+		return "bitvector"
+	default:
+		return fmt.Sprintf("scheme(%d)", byte(s))
+	}
+}
+
+// EncodeIDs encodes a sorted id list with the given scheme. universe is the
+// exclusive upper bound on ids (needed by Bitvector). The ids must be
+// strictly increasing for DeltaVarint and Bitvector.
+func EncodeIDs(scheme Scheme, ids []uint32, universe uint32) ([]byte, error) {
+	switch scheme {
+	case Raw:
+		out := make([]byte, 1+4*len(ids))
+		out[0] = byte(Raw)
+		for i, id := range ids {
+			binary.LittleEndian.PutUint32(out[1+4*i:], id)
+		}
+		return out, nil
+	case DeltaVarint:
+		out := make([]byte, 1, 1+len(ids)*2)
+		out[0] = byte(DeltaVarint)
+		var buf [binary.MaxVarintLen32]byte
+		prev := uint32(0)
+		for i, id := range ids {
+			if i > 0 && id <= prev {
+				return nil, fmt.Errorf("codec: ids not strictly increasing at %d (%d after %d)", i, id, prev)
+			}
+			delta := id - prev
+			if i == 0 {
+				delta = id // first value coded absolutely
+			}
+			n := binary.PutUvarint(buf[:], uint64(delta))
+			out = append(out, buf[:n]...)
+			prev = id
+		}
+		return out, nil
+	case Bitvector:
+		words := (int(universe) + 63) / 64
+		out := make([]byte, 1+4+8*words)
+		out[0] = byte(Bitvector)
+		binary.LittleEndian.PutUint32(out[1:], universe)
+		prev := uint32(0)
+		for i, id := range ids {
+			if id >= universe {
+				return nil, fmt.Errorf("codec: id %d outside universe %d", id, universe)
+			}
+			if i > 0 && id <= prev {
+				return nil, fmt.Errorf("codec: ids not strictly increasing at %d", i)
+			}
+			word := binary.LittleEndian.Uint64(out[5+8*(id>>6):])
+			word |= 1 << (id & 63)
+			binary.LittleEndian.PutUint64(out[5+8*(id>>6):], word)
+			prev = id
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("codec: unknown scheme %d", scheme)
+	}
+}
+
+// DecodeIDs decodes a payload produced by EncodeIDs (any scheme; the
+// scheme byte is read from the payload).
+func DecodeIDs(data []byte) ([]uint32, error) {
+	if len(data) == 0 {
+		return nil, errors.New("codec: empty payload")
+	}
+	switch Scheme(data[0]) {
+	case Raw:
+		body := data[1:]
+		if len(body)%4 != 0 {
+			return nil, fmt.Errorf("codec: raw payload length %d not a multiple of 4", len(body))
+		}
+		ids := make([]uint32, len(body)/4)
+		for i := range ids {
+			ids[i] = binary.LittleEndian.Uint32(body[4*i:])
+		}
+		return ids, nil
+	case DeltaVarint:
+		body := data[1:]
+		var ids []uint32
+		cur := uint64(0)
+		first := true
+		for len(body) > 0 {
+			v, n := binary.Uvarint(body)
+			if n <= 0 {
+				return nil, errors.New("codec: truncated varint")
+			}
+			body = body[n:]
+			if first {
+				cur = v
+				first = false
+			} else {
+				cur += v
+			}
+			if cur > 0xFFFFFFFF {
+				return nil, errors.New("codec: decoded id overflows uint32")
+			}
+			ids = append(ids, uint32(cur))
+		}
+		return ids, nil
+	case Bitvector:
+		if len(data) < 5 {
+			return nil, errors.New("codec: truncated bitvector header")
+		}
+		universe := binary.LittleEndian.Uint32(data[1:])
+		words := (int(universe) + 63) / 64
+		if len(data) != 5+8*words {
+			return nil, fmt.Errorf("codec: bitvector payload %d bytes, want %d", len(data), 5+8*words)
+		}
+		var ids []uint32
+		for wi := 0; wi < words; wi++ {
+			w := binary.LittleEndian.Uint64(data[5+8*wi:])
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				ids = append(ids, uint32(wi*64+b))
+				w &= w - 1
+			}
+		}
+		return ids, nil
+	default:
+		return nil, fmt.Errorf("codec: unknown scheme %d", data[0])
+	}
+}
+
+// ChooseScheme picks the smaller of delta and bitvector coding for a
+// sorted id list over the given universe — dense frontiers (BFS middle
+// iterations) go as bitmaps, sparse ones as deltas.
+func ChooseScheme(numIDs int, universe uint32) Scheme {
+	if numIDs == 0 {
+		return DeltaVarint
+	}
+	bitvecBytes := 5 + 8*((int64(universe)+63)/64)
+	// Average gap determines expected varint width.
+	gap := int64(universe) / int64(numIDs)
+	varintWidth := int64(1)
+	for g := gap; g >= 128; g >>= 7 {
+		varintWidth++
+	}
+	deltaBytes := 1 + varintWidth*int64(numIDs)
+	if bitvecBytes < deltaBytes {
+		return Bitvector
+	}
+	return DeltaVarint
+}
+
+// EncodeIDsAuto encodes with ChooseScheme's pick.
+func EncodeIDsAuto(ids []uint32, universe uint32) ([]byte, error) {
+	return EncodeIDs(ChooseScheme(len(ids), universe), ids, universe)
+}

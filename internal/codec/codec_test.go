@@ -1,0 +1,183 @@
+package codec
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func sortedIDs(r *rand.Rand, n int, universe uint32) []uint32 {
+	seen := map[uint32]bool{}
+	for len(seen) < n {
+		seen[uint32(r.Intn(int(universe)))] = true
+	}
+	ids := make([]uint32, 0, n)
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func TestRoundTripAllSchemes(t *testing.T) {
+	ids := []uint32{0, 1, 7, 100, 1023}
+	for _, s := range []Scheme{Raw, DeltaVarint, Bitvector} {
+		enc, err := EncodeIDs(s, ids, 1024)
+		if err != nil {
+			t.Fatalf("%v: encode: %v", s, err)
+		}
+		dec, err := DecodeIDs(enc)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", s, err)
+		}
+		if len(dec) != len(ids) {
+			t.Fatalf("%v: decoded %v, want %v", s, dec, ids)
+		}
+		for i := range ids {
+			if dec[i] != ids[i] {
+				t.Fatalf("%v: decoded %v, want %v", s, dec, ids)
+			}
+		}
+	}
+}
+
+func TestEmptyList(t *testing.T) {
+	for _, s := range []Scheme{Raw, DeltaVarint, Bitvector} {
+		enc, err := EncodeIDs(s, nil, 64)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		dec, err := DecodeIDs(enc)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", s, err)
+		}
+		if len(dec) != 0 {
+			t.Errorf("%v: decoded %v from empty list", s, dec)
+		}
+	}
+}
+
+func TestDeltaCompressesSortedRuns(t *testing.T) {
+	// Consecutive ids (gap 1) should code ~1 byte each vs 4 raw.
+	ids := make([]uint32, 1000)
+	for i := range ids {
+		ids[i] = uint32(i) + 5000
+	}
+	raw, _ := EncodeIDs(Raw, ids, 1<<20)
+	delta, _ := EncodeIDs(DeltaVarint, ids, 1<<20)
+	if len(delta)*3 > len(raw) {
+		t.Errorf("delta %dB vs raw %dB: expected ≥3× compression on runs", len(delta), len(raw))
+	}
+}
+
+func TestBitvectorWinsWhenDense(t *testing.T) {
+	universe := uint32(4096)
+	ids := make([]uint32, 0, universe/2)
+	for i := uint32(0); i < universe; i += 2 {
+		ids = append(ids, i)
+	}
+	bv, _ := EncodeIDs(Bitvector, ids, universe)
+	raw, _ := EncodeIDs(Raw, ids, universe)
+	if len(bv) >= len(raw) {
+		t.Errorf("bitvector %dB not smaller than raw %dB on dense set", len(bv), len(raw))
+	}
+	if got := ChooseScheme(len(ids), universe); got != Bitvector {
+		t.Errorf("ChooseScheme dense = %v, want Bitvector", got)
+	}
+}
+
+func TestChooseSchemeSparse(t *testing.T) {
+	if got := ChooseScheme(10, 1<<20); got != DeltaVarint {
+		t.Errorf("ChooseScheme sparse = %v, want DeltaVarint", got)
+	}
+	if got := ChooseScheme(0, 1<<20); got != DeltaVarint {
+		t.Errorf("ChooseScheme empty = %v, want DeltaVarint", got)
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	if _, err := EncodeIDs(DeltaVarint, []uint32{5, 5}, 10); err == nil {
+		t.Error("delta accepted non-increasing ids")
+	}
+	if _, err := EncodeIDs(DeltaVarint, []uint32{5, 3}, 10); err == nil {
+		t.Error("delta accepted decreasing ids")
+	}
+	if _, err := EncodeIDs(Bitvector, []uint32{99}, 10); err == nil {
+		t.Error("bitvector accepted id outside universe")
+	}
+	if _, err := EncodeIDs(Bitvector, []uint32{3, 3}, 10); err == nil {
+		t.Error("bitvector accepted duplicate ids")
+	}
+	if _, err := EncodeIDs(Scheme(99), nil, 10); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := DecodeIDs(nil); err == nil {
+		t.Error("decoded empty payload")
+	}
+	if _, err := DecodeIDs([]byte{byte(Raw), 1, 2, 3}); err == nil {
+		t.Error("decoded misaligned raw payload")
+	}
+	if _, err := DecodeIDs([]byte{byte(Bitvector), 1}); err == nil {
+		t.Error("decoded truncated bitvector header")
+	}
+	if _, err := DecodeIDs([]byte{byte(Bitvector), 64, 0, 0, 0}); err == nil {
+		t.Error("decoded bitvector with missing body")
+	}
+	if _, err := DecodeIDs([]byte{99}); err == nil {
+		t.Error("decoded unknown scheme")
+	}
+	// Truncated varint: 0x80 promises a continuation byte.
+	if _, err := DecodeIDs([]byte{byte(DeltaVarint), 0x80}); err == nil {
+		t.Error("decoded truncated varint")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint16, uRaw uint16) bool {
+		universe := uint32(uRaw%8192) + 64
+		n := int(nRaw) % int(universe)
+		r := rand.New(rand.NewSource(seed))
+		ids := sortedIDs(r, n, universe)
+		for _, s := range []Scheme{Raw, DeltaVarint, Bitvector} {
+			enc, err := EncodeIDs(s, ids, universe)
+			if err != nil {
+				return false
+			}
+			dec, err := DecodeIDs(enc)
+			if err != nil || len(dec) != len(ids) {
+				return false
+			}
+			for i := range ids {
+				if dec[i] != ids[i] {
+					return false
+				}
+			}
+		}
+		// Auto must round-trip too.
+		enc, err := EncodeIDsAuto(ids, universe)
+		if err != nil {
+			return false
+		}
+		dec, err := DecodeIDs(enc)
+		if err != nil || len(dec) != len(ids) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if Raw.String() != "raw" || DeltaVarint.String() != "delta+varint" || Bitvector.String() != "bitvector" {
+		t.Error("scheme names wrong")
+	}
+	if Scheme(42).String() == "" {
+		t.Error("unknown scheme String empty")
+	}
+}

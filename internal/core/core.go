@@ -1,0 +1,340 @@
+// Package core defines the contract every graph-analytics engine in
+// graphmaze implements: the four algorithms of the paper (PageRank, BFS,
+// triangle counting, collaborative filtering), their options and results,
+// and serial reference implementations used to cross-validate engines.
+//
+// The engines deliberately do NOT share kernels — each implements the
+// algorithms through its own programming model, because the per-model
+// overhead is the phenomenon the paper studies.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"graphmaze/internal/cluster"
+	"graphmaze/internal/graph"
+	"graphmaze/internal/metrics"
+)
+
+// Exec selects where an algorithm runs: in-process on the host (nil
+// Cluster), or on a simulated multi-node cluster.
+type Exec struct {
+	// Cluster, when non-nil, requests a distributed run with the given
+	// cluster configuration. Engines without multi-node support return
+	// ErrSingleNodeOnly.
+	Cluster *cluster.Config
+}
+
+// ErrSingleNodeOnly is returned by engines (Galois) that have no
+// multi-node implementation, matching the paper's Table 2.
+var ErrSingleNodeOnly = errors.New("engine runs on a single node only")
+
+// ErrUnsupported is returned when a programming model cannot express the
+// requested computation (e.g. SGD outside native/Galois, paper §3.2).
+var ErrUnsupported = errors.New("operation not expressible in this engine's programming model")
+
+// RunStats describes how a run went. For single-node runs WallSeconds is
+// measured host time; for cluster runs it is the simulation's modeled time
+// and Report carries the system metrics.
+type RunStats struct {
+	WallSeconds float64
+	Simulated   bool
+	Iterations  int
+	Report      metrics.Report
+}
+
+// PageRankOptions configures PageRank. The paper's formulation (eq. 1):
+//
+//	PR'(i) = r + (1-r) · Σ_{j→i} PR(j)/outdeg(j)
+//
+// with r the random-jump probability (the paper uses 0.3) and unnormalized
+// ranks initialized to 1.
+type PageRankOptions struct {
+	// RandomJump is r in the paper's equation (default 0.3).
+	RandomJump float64
+	// Iterations is the fixed iteration count (default 10). Engines report
+	// per-iteration time, as the paper does, to normalize for convergence
+	// detection differences.
+	Iterations int
+	// Tolerance, when positive, enables early convergence detection: the
+	// run stops once no rank moves by more than Tolerance in an iteration
+	// (the paper notes implementations differ on this, §5.2 — which is
+	// why its comparisons use time per iteration).
+	Tolerance float64
+	Exec      Exec
+}
+
+func (o PageRankOptions) withDefaults() PageRankOptions {
+	if o.RandomJump == 0 {
+		o.RandomJump = 0.3
+	}
+	if o.Iterations == 0 {
+		o.Iterations = 10
+	}
+	return o
+}
+
+// Validate reports the first problem with the options.
+func (o PageRankOptions) Validate() error {
+	if o.RandomJump < 0 || o.RandomJump >= 1 {
+		return fmt.Errorf("core: random jump %v outside [0,1)", o.RandomJump)
+	}
+	if o.Iterations < 0 {
+		return fmt.Errorf("core: negative iteration count %d", o.Iterations)
+	}
+	if o.Tolerance < 0 {
+		return fmt.Errorf("core: negative tolerance %v", o.Tolerance)
+	}
+	return nil
+}
+
+// PageRankResult carries the final (unnormalized) ranks.
+type PageRankResult struct {
+	Ranks []float64
+	Stats RunStats
+}
+
+// BFSOptions configures breadth-first search from Source over an
+// undirected (symmetrized) graph.
+type BFSOptions struct {
+	Source uint32
+	Exec   Exec
+}
+
+// BFSResult carries hop distances; unreachable vertices hold -1.
+type BFSResult struct {
+	Distances []int32
+	Stats     RunStats
+}
+
+// TriangleOptions configures triangle counting. The input graph must be
+// acyclically oriented (every edge small id → large id) with sorted
+// adjacency, the preparation the paper applies to all frameworks (§4.1.2).
+type TriangleOptions struct {
+	Exec Exec
+}
+
+// TriangleResult carries the global triangle count.
+type TriangleResult struct {
+	Count int64
+	Stats RunStats
+}
+
+// CFMethod selects the matrix-factorization optimizer.
+type CFMethod int
+
+const (
+	// GradientDescent updates all factors once per iteration from
+	// aggregated gradients — expressible in every framework (paper §3.2).
+	GradientDescent CFMethod = iota
+	// SGD processes ratings one at a time in random order. Only native and
+	// Galois can express it (paper §3.2).
+	SGD
+)
+
+func (m CFMethod) String() string {
+	if m == SGD {
+		return "sgd"
+	}
+	return "gd"
+}
+
+// CFOptions configures collaborative filtering (incomplete matrix
+// factorization with regularization, paper eq. 4).
+type CFOptions struct {
+	Method CFMethod
+	// K is the latent dimension (paper's message sizing implies K≈128; we
+	// default to 16 at laptop scale).
+	K int
+	// Iterations of the optimizer (default 5).
+	Iterations int
+	// LearningRate is γ0; StepDecay is s in γt = γ0·s^t (defaults 0.002
+	// and 0.99 for SGD; GD uses a smaller default rate).
+	LearningRate float64
+	StepDecay    float64
+	// LambdaP and LambdaQ are the regularization weights (default 0.05).
+	LambdaP, LambdaQ float64
+	// Seed drives factor initialization and SGD shuffling.
+	Seed int64
+	// SkipRMSETrajectory suppresses the per-iteration RMSE evaluation
+	// (an O(E·K) pass per iteration that is measurement noise, not
+	// algorithm work); only the final RMSE is reported. The paper's
+	// per-iteration timings exclude convergence evaluation.
+	SkipRMSETrajectory bool
+	Exec               Exec
+}
+
+func (o CFOptions) withDefaults() CFOptions {
+	if o.K == 0 {
+		o.K = 16
+	}
+	if o.Iterations == 0 {
+		o.Iterations = 5
+	}
+	if o.LearningRate == 0 {
+		if o.Method == SGD {
+			o.LearningRate = 0.002
+		} else {
+			o.LearningRate = 0.0005
+		}
+	}
+	if o.StepDecay == 0 {
+		o.StepDecay = 0.99
+	}
+	if o.LambdaP == 0 {
+		o.LambdaP = 0.05
+	}
+	if o.LambdaQ == 0 {
+		o.LambdaQ = 0.05
+	}
+	return o
+}
+
+// Validate reports the first problem with the options.
+func (o CFOptions) Validate() error {
+	if o.K < 0 {
+		return fmt.Errorf("core: negative latent dimension %d", o.K)
+	}
+	if o.Iterations < 0 {
+		return fmt.Errorf("core: negative iteration count %d", o.Iterations)
+	}
+	if o.LearningRate < 0 || o.StepDecay < 0 || o.StepDecay > 1 {
+		return fmt.Errorf("core: bad step schedule γ0=%v s=%v", o.LearningRate, o.StepDecay)
+	}
+	if o.LambdaP < 0 || o.LambdaQ < 0 {
+		return fmt.Errorf("core: negative regularization")
+	}
+	return nil
+}
+
+// CFResult carries the learned factors (flat, K values per vertex) and the
+// training-RMSE trajectory, one entry per iteration.
+type CFResult struct {
+	K           int
+	UserFactors []float32 // NumUsers × K
+	ItemFactors []float32 // NumItems × K
+	RMSE        []float64
+	Stats       RunStats
+}
+
+// Capabilities describes what an engine can do (paper Table 2).
+type Capabilities struct {
+	// MultiNode reports whether the engine has a distributed
+	// implementation.
+	MultiNode bool
+	// SGD reports whether the programming model can express stochastic
+	// gradient descent (needs flexible partitioning and immediate global
+	// visibility of updates).
+	SGD bool
+	// ProgrammingModel is a short label: "native", "vertex", "sparse
+	// matrix", "datalog", "task".
+	ProgrammingModel string
+}
+
+// Engine is a graph-analytics framework under study.
+type Engine interface {
+	// Name is the framework's display name, matching the paper's tables.
+	Name() string
+	Capabilities() Capabilities
+
+	PageRank(g *graph.CSR, opt PageRankOptions) (*PageRankResult, error)
+	BFS(g *graph.CSR, opt BFSOptions) (*BFSResult, error)
+	TriangleCount(g *graph.CSR, opt TriangleOptions) (*TriangleResult, error)
+	CollabFilter(r *graph.Bipartite, opt CFOptions) (*CFResult, error)
+}
+
+// CheckPageRankInput validates common PageRank preconditions.
+func CheckPageRankInput(g *graph.CSR, opt PageRankOptions) (PageRankOptions, error) {
+	opt = opt.withDefaults()
+	if err := opt.Validate(); err != nil {
+		return opt, err
+	}
+	if g == nil {
+		return opt, errors.New("core: nil graph")
+	}
+	return opt, nil
+}
+
+// CheckBFSInput validates common BFS preconditions.
+func CheckBFSInput(g *graph.CSR, opt BFSOptions) (BFSOptions, error) {
+	if g == nil {
+		return opt, errors.New("core: nil graph")
+	}
+	if opt.Source >= g.NumVertices {
+		return opt, fmt.Errorf("core: BFS source %d outside [0,%d)", opt.Source, g.NumVertices)
+	}
+	return opt, nil
+}
+
+// CheckTriangleInput validates common triangle-counting preconditions.
+func CheckTriangleInput(g *graph.CSR, opt TriangleOptions) (TriangleOptions, error) {
+	if g == nil {
+		return opt, errors.New("core: nil graph")
+	}
+	if !g.SortedAdjacency() {
+		return opt, errors.New("core: triangle counting requires sorted adjacency (build with SortAdjacency)")
+	}
+	return opt, nil
+}
+
+// CheckCFInput validates common collaborative-filtering preconditions.
+func CheckCFInput(r *graph.Bipartite, opt CFOptions) (CFOptions, error) {
+	opt = opt.withDefaults()
+	if err := opt.Validate(); err != nil {
+		return opt, err
+	}
+	if r == nil || r.ByUser == nil || r.ByItem == nil {
+		return opt, errors.New("core: nil rating graph")
+	}
+	return opt, nil
+}
+
+// InitFactors deterministically initializes n×k latent factors in
+// [0, 1/√k), the conventional non-negative warm start. Every engine uses
+// this so cross-engine RMSE trajectories are comparable.
+func InitFactors(n uint32, k int, seed int64) []float32 {
+	f := make([]float32, int(n)*k)
+	state := uint64(seed)*2862933555777941757 + 3037000493
+	scale := float32(1) / float32(k)
+	for i := range f {
+		// xorshift64* keeps initialization free of math/rand allocation.
+		state ^= state >> 12
+		state ^= state << 25
+		state ^= state >> 27
+		u := float32(state>>40) / float32(1<<24)
+		f[i] = u * scale
+	}
+	return f
+}
+
+// Dot returns the inner product of two K-length factor rows.
+func Dot(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+// RMSE computes the root-mean-square training error of factor matrices
+// over the rating graph.
+func RMSE(r *graph.Bipartite, k int, userF, itemF []float32) float64 {
+	var sum float64
+	var n int64
+	for u := uint32(0); u < r.NumUsers; u++ {
+		adj, w := r.ByUser.Neighbors(u), r.ByUser.EdgeWeights(u)
+		pu := userF[int(u)*k : int(u+1)*k]
+		for i, v := range adj {
+			qv := itemF[int(v)*k : int(v+1)*k]
+			e := float64(w[i]) - Dot(pu, qv)
+			sum += e * e
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(sum / float64(n))
+}

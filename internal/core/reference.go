@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"graphmaze/internal/graph"
+)
+
+// This file holds deliberately simple serial reference implementations.
+// They exist to validate the engines, not to be fast; every engine's test
+// suite compares against these.
+
+// RefPageRank runs the paper's PageRank (eq. 1) serially. g holds
+// out-edges.
+func RefPageRank(g *graph.CSR, opt PageRankOptions) []float64 {
+	opt = opt.withDefaults()
+	n := g.NumVertices
+	pr := make([]float64, n)
+	next := make([]float64, n)
+	for i := range pr {
+		pr[i] = 1
+	}
+	for it := 0; it < opt.Iterations; it++ {
+		for i := range next {
+			next[i] = opt.RandomJump
+		}
+		for v := uint32(0); v < n; v++ {
+			deg := g.Degree(v)
+			if deg == 0 {
+				continue
+			}
+			contrib := (1 - opt.RandomJump) * pr[v] / float64(deg)
+			for _, t := range g.Neighbors(v) {
+				next[t] += contrib
+			}
+		}
+		pr, next = next, pr
+	}
+	return pr
+}
+
+// RefBFS runs serial BFS over g's stored orientation (symmetrize first for
+// the paper's undirected traversal). Unreachable vertices get -1.
+func RefBFS(g *graph.CSR, source uint32) []int32 {
+	dist := make([]int32, g.NumVertices)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[source] = 0
+	frontier := []uint32{source}
+	for level := int32(1); len(frontier) > 0; level++ {
+		var next []uint32
+		for _, v := range frontier {
+			for _, t := range g.Neighbors(v) {
+				if dist[t] == -1 {
+					dist[t] = level
+					next = append(next, t)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// RefTriangleCount counts triangles in an acyclically oriented graph with
+// sorted adjacency by merge-intersecting the out-lists of each edge's
+// endpoints (eq. 3: each triangle i<j<k is counted exactly once, at edge
+// (i,j)).
+func RefTriangleCount(g *graph.CSR) int64 {
+	var count int64
+	for u := uint32(0); u < g.NumVertices; u++ {
+		adjU := g.Neighbors(u)
+		for _, v := range adjU {
+			count += int64(intersectSorted(adjU, g.Neighbors(v)))
+		}
+	}
+	return count
+}
+
+// intersectSorted counts common elements of two sorted lists.
+func intersectSorted(a, b []uint32) int {
+	i, j, c := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
+}
+
+// RefCollabFilterGD runs serial full-batch gradient descent (paper eqs.
+// 11–12) and returns the factors plus the per-iteration RMSE trajectory.
+func RefCollabFilterGD(r *graph.Bipartite, opt CFOptions) *CFResult {
+	opt = opt.withDefaults()
+	k := opt.K
+	userF := InitFactors(r.NumUsers, k, opt.Seed)
+	itemF := InitFactors(r.NumItems, k, opt.Seed+1)
+	gradP := make([]float32, len(userF))
+	gradQ := make([]float32, len(itemF))
+	rmse := make([]float64, 0, opt.Iterations)
+
+	gamma := opt.LearningRate
+	for it := 0; it < opt.Iterations; it++ {
+		for i := range gradP {
+			gradP[i] = 0
+		}
+		for i := range gradQ {
+			gradQ[i] = 0
+		}
+		for u := uint32(0); u < r.NumUsers; u++ {
+			adj, w := r.ByUser.Neighbors(u), r.ByUser.EdgeWeights(u)
+			pu := userF[int(u)*k : int(u+1)*k]
+			gp := gradP[int(u)*k : int(u+1)*k]
+			for i, v := range adj {
+				qv := itemF[int(v)*k : int(v+1)*k]
+				gq := gradQ[int(v)*k : int(v+1)*k]
+				dot := Dot(pu, qv)
+				ruv := float64(w[i])
+				for d := 0; d < k; d++ {
+					gp[d] += float32(ruv*float64(qv[d]) - dot*float64(qv[d]) - opt.LambdaP*float64(pu[d]))
+					gq[d] += float32(ruv*float64(pu[d]) - dot*float64(pu[d]) - opt.LambdaQ*float64(qv[d]))
+				}
+			}
+		}
+		for i := range userF {
+			userF[i] += float32(gamma) * gradP[i]
+		}
+		for i := range itemF {
+			itemF[i] += float32(gamma) * gradQ[i]
+		}
+		gamma *= opt.StepDecay
+		rmse = append(rmse, RMSE(r, k, userF, itemF))
+	}
+	return &CFResult{K: k, UserFactors: userF, ItemFactors: itemF, RMSE: rmse,
+		Stats: RunStats{Iterations: opt.Iterations}}
+}
+
+// ComparePageRank reports the maximum relative difference between two rank
+// vectors.
+func ComparePageRank(a, b []float64) float64 {
+	var worst float64
+	for i := range a {
+		denom := math.Max(math.Abs(a[i]), 1e-12)
+		if d := math.Abs(a[i]-b[i]) / denom; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// EqualDistances reports whether two BFS distance vectors match exactly.
+func EqualDistances(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MonotonicallyNonIncreasing reports whether a trajectory (e.g. RMSE over
+// iterations) never rises by more than tol.
+func MonotonicallyNonIncreasing(xs []float64, tol float64) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] > xs[i-1]+tol {
+			return false
+		}
+	}
+	return true
+}
+
+// ValidateBFS performs the Graph500-style validation of a BFS result over
+// the (undirected, symmetrized) graph the search ran on — the paper's BFS
+// "is part of the Graph500 benchmark [23]", whose specification requires
+// validating the output rather than trusting the kernel:
+//
+//  1. the source has distance 0 and every other distance is positive or
+//     unreached (-1);
+//  2. every edge spans at most one level (|dist(u)−dist(v)| ≤ 1 when both
+//     endpoints are reached);
+//  3. every reached vertex other than the source has a neighbour exactly
+//     one level closer (a valid BFS tree parent exists);
+//  4. no edge connects a reached vertex to an unreached one.
+func ValidateBFS(g *graph.CSR, source uint32, dist []int32) error {
+	if int(g.NumVertices) != len(dist) {
+		return fmt.Errorf("core: %d distances for %d vertices", len(dist), g.NumVertices)
+	}
+	if source >= g.NumVertices {
+		return fmt.Errorf("core: source %d out of range", source)
+	}
+	if dist[source] != 0 {
+		return fmt.Errorf("core: source distance %d, want 0", dist[source])
+	}
+	for v := uint32(0); v < g.NumVertices; v++ {
+		dv := dist[v]
+		if dv < -1 {
+			return fmt.Errorf("core: vertex %d has invalid distance %d", v, dv)
+		}
+		if dv == 0 && v != source {
+			return fmt.Errorf("core: vertex %d has distance 0 but is not the source", v)
+		}
+		hasParent := dv <= 0
+		for _, u := range g.Neighbors(v) {
+			du := dist[u]
+			switch {
+			case dv == -1 && du != -1:
+				return fmt.Errorf("core: unreached vertex %d adjacent to reached vertex %d", v, u)
+			case dv != -1 && du == -1:
+				return fmt.Errorf("core: reached vertex %d adjacent to unreached vertex %d", v, u)
+			case dv != -1 && du != -1:
+				if d := dv - du; d > 1 || d < -1 {
+					return fmt.Errorf("core: edge (%d,%d) spans %d levels", v, u, d)
+				}
+				if du == dv-1 {
+					hasParent = true
+				}
+			}
+		}
+		if !hasParent {
+			return fmt.Errorf("core: vertex %d at distance %d has no neighbour at distance %d", v, dv, dv-1)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,244 @@
+package datasets
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graphmaze/internal/graph"
+)
+
+func TestPresetsListed(t *testing.T) {
+	names := Names()
+	want := []string{"facebook", "wikipedia", "livejournal", "twitter", "graph500", "netflix", "yahoomusic"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v", names)
+	}
+	for _, n := range want {
+		if _, err := ByName(n); err != nil {
+			t.Errorf("ByName(%q): %v", n, err)
+		}
+	}
+	if _, err := ByName("nonexistent"); err == nil {
+		t.Error("ByName accepted unknown preset")
+	}
+}
+
+func TestRelativeSizesMatchPaper(t *testing.T) {
+	// Table 3 ordering must survive the scale-down.
+	edgesOf := func(name string) int64 {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return int64(p.EdgeFactor) << uint(p.Scale)
+	}
+	fb, wiki, lj, tw := edgesOf("facebook"), edgesOf("wikipedia"), edgesOf("livejournal"), edgesOf("twitter")
+	if !(fb < wiki && wiki <= lj && lj < tw) {
+		t.Errorf("size ordering broken: fb=%d wiki=%d lj=%d tw=%d", fb, wiki, lj, tw)
+	}
+}
+
+func TestBuildPreps(t *testing.T) {
+	p, err := ByName("facebook")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p = p.WithScale(9) // small for tests
+
+	pr, err := p.Build(PrepPageRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.NumEdges() == 0 {
+		t.Fatal("PageRank prep produced empty graph")
+	}
+
+	bfs, err := p.Build(PrepBFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symmetric: every edge has its reverse.
+	for _, e := range bfs.Edges()[:100] {
+		if !bfs.HasEdge(e.Dst, e.Src) {
+			t.Fatalf("BFS prep not symmetric at %v", e)
+		}
+	}
+
+	tc, err := p.Build(PrepTriangle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tc.SortedAdjacency() {
+		t.Error("triangle prep not sorted")
+	}
+	for _, e := range tc.Edges()[:100] {
+		if e.Src >= e.Dst {
+			t.Fatalf("triangle prep not acyclic at %v", e)
+		}
+	}
+}
+
+func TestBuildRatings(t *testing.T) {
+	p, err := ByName("netflix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p = p.WithScale(9)
+	bp, err := p.BuildRatings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.NumRatings() == 0 {
+		t.Fatal("empty ratings")
+	}
+	// Kind mismatches error clearly.
+	if _, err := p.Build(PrepPageRank); err == nil {
+		t.Error("Build on ratings preset should fail")
+	}
+	fb, _ := ByName("facebook")
+	if _, err := fb.BuildRatings(); err == nil {
+		t.Error("BuildRatings on graph preset should fail")
+	}
+}
+
+func TestReadEdgeList(t *testing.T) {
+	in := strings.NewReader(`# comment
+% another comment
+10 20
+20 30
+10 20
+`)
+	n, edges, err := ReadEdgeList(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("vertices = %d, want 3 (dense renumbering)", n)
+	}
+	if len(edges) != 3 {
+		t.Errorf("edges = %d, want 3 (duplicates preserved)", len(edges))
+	}
+	// Dense ids: 10→0, 20→1, 30→2.
+	if edges[0] != (graph.Edge{Src: 0, Dst: 1}) || edges[1] != (graph.Edge{Src: 1, Dst: 2}) {
+		t.Errorf("edges = %v", edges)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	if _, _, err := ReadEdgeList(strings.NewReader("1\n")); err == nil {
+		t.Error("accepted one-field line")
+	}
+	if _, _, err := ReadEdgeList(strings.NewReader("a b\n")); err == nil {
+		t.Error("accepted non-numeric ids")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g, err := graph.FromEdges(4, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	n, edges, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 || len(edges) != 3 {
+		t.Errorf("round trip: n=%d edges=%d", n, len(edges))
+	}
+}
+
+func TestLoadEdgeListFileMissing(t *testing.T) {
+	if _, err := LoadEdgeListFile("/nonexistent/path.el", PrepPageRank); err == nil {
+		t.Error("accepted missing file")
+	}
+}
+
+func TestLoadEdgeListFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.el")
+	if err := os.WriteFile(path, []byte("0 1\n1 2\n2 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadEdgeListFile(path, PrepBFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices != 3 || g.NumEdges() != 6 { // symmetrized triangle
+		t.Errorf("loaded %d vertices / %d edges", g.NumVertices, g.NumEdges())
+	}
+	// Empty file errors cleanly.
+	empty := filepath.Join(dir, "empty.el")
+	if err := os.WriteFile(empty, []byte("# nothing\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadEdgeListFile(empty, PrepBFS); err == nil {
+		t.Error("accepted empty edge list")
+	}
+	// Bad prep value.
+	if _, err := PrepareEdges(2, []graph.Edge{{Src: 0, Dst: 1}}, Prep(99)); err == nil {
+		t.Error("accepted unknown preparation")
+	}
+}
+
+func TestReadRatings(t *testing.T) {
+	in := strings.NewReader(`# netflix-style triples
+100 7 5
+100 9 3.5
+200 7 1
+`)
+	bp, err := ReadRatings(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.NumUsers != 2 || bp.NumItems != 2 || bp.NumRatings() != 3 {
+		t.Errorf("parsed %d users × %d items, %d ratings", bp.NumUsers, bp.NumItems, bp.NumRatings())
+	}
+	// user 100→0, item 9→1: rating 3.5.
+	adj, w := bp.ByUser.Neighbors(0), bp.ByUser.EdgeWeights(0)
+	found := false
+	for i, v := range adj {
+		if v == 1 && w[i] == 3.5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("rating 3.5 not found after dense renumbering")
+	}
+}
+
+func TestReadRatingsErrors(t *testing.T) {
+	if _, err := ReadRatings(strings.NewReader("1 2\n")); err == nil {
+		t.Error("accepted two-field line")
+	}
+	if _, err := ReadRatings(strings.NewReader("a b c\n")); err == nil {
+		t.Error("accepted non-numeric triple")
+	}
+	if _, err := ReadRatings(strings.NewReader("# only comments\n")); err == nil {
+		t.Error("accepted empty rating set")
+	}
+}
+
+func TestLoadRatingsFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.txt")
+	if err := os.WriteFile(path, []byte("0 0 4\n0 1 2\n1 0 5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bp, err := LoadRatingsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.NumRatings() != 3 {
+		t.Errorf("NumRatings = %d", bp.NumRatings())
+	}
+	if _, err := LoadRatingsFile(filepath.Join(dir, "missing")); err == nil {
+		t.Error("accepted missing file")
+	}
+}

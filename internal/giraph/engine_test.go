@@ -1,0 +1,286 @@
+package giraph
+
+import (
+	"errors"
+	"testing"
+
+	"graphmaze/internal/cluster"
+	"graphmaze/internal/core"
+	"graphmaze/internal/gen"
+	"graphmaze/internal/graph"
+)
+
+func fixtureDirected(t testing.TB) *graph.CSR {
+	t.Helper()
+	edges, err := gen.RMAT(gen.Graph500Config(8, 8, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := graph.NewBuilder(1 << 8)
+	b.AddEdges(edges)
+	g, err := b.Build(graph.BuildOptions{Dedup: true, DropSelfLoops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func fixtureUndirected(t testing.TB) *graph.CSR {
+	t.Helper()
+	edges, err := gen.RMAT(gen.Graph500Config(8, 8, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := graph.NewBuilder(1 << 8)
+	b.AddEdges(edges)
+	g, err := b.Build(graph.BuildOptions{Orientation: graph.Symmetrize, Dedup: true, DropSelfLoops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func fixtureAcyclic(t testing.TB) *graph.CSR {
+	t.Helper()
+	edges, err := gen.RMAT(gen.TriangleConfig(8, 8, 33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := graph.NewBuilder(1 << 8)
+	b.AddEdges(edges)
+	g, err := b.Build(graph.BuildOptions{Orientation: graph.OrientAcyclic, Dedup: true, SortAdjacency: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func fixtureRatings(t testing.TB) *graph.Bipartite {
+	t.Helper()
+	bp, err := gen.Ratings(gen.DefaultRatingsConfig(8, 16, 34))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bp
+}
+
+func TestIdentity(t *testing.T) {
+	e := New()
+	if e.Name() != "Giraph" {
+		t.Errorf("Name = %q", e.Name())
+	}
+	if caps := e.Capabilities(); !caps.MultiNode || caps.SGD {
+		t.Errorf("capabilities = %+v", caps)
+	}
+}
+
+func TestPageRankMatchesReference(t *testing.T) {
+	g := fixtureDirected(t)
+	opt := core.PageRankOptions{Iterations: 6}
+	want := core.RefPageRank(g, opt)
+	res, err := New().PageRank(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := core.ComparePageRank(want, res.Ranks); d > 1e-9 {
+		t.Errorf("max relative diff %v", d)
+	}
+}
+
+func TestPageRankCluster(t *testing.T) {
+	g := fixtureDirected(t)
+	opt := core.PageRankOptions{Iterations: 4, Exec: core.Exec{Cluster: &cluster.Config{Nodes: 4}}}
+	want := core.RefPageRank(g, core.PageRankOptions{Iterations: 4})
+	res, err := New().PageRank(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := core.ComparePageRank(want, res.Ranks); d > 1e-9 {
+		t.Errorf("max relative diff %v", d)
+	}
+	rep := res.Stats.Report
+	if rep.BytesSent == 0 {
+		t.Error("no traffic recorded")
+	}
+	if rep.PeakNetworkBandwidth > cluster.Netty().Bandwidth {
+		t.Errorf("peak BW %v exceeds netty ceiling", rep.PeakNetworkBandwidth)
+	}
+	// 4 workers on 48 provisioned threads → low utilization by design.
+	if rep.CPUUtilization > 0.25 {
+		t.Errorf("CPU utilization %v unrealistically high for Giraph", rep.CPUUtilization)
+	}
+}
+
+func TestBFSMatchesReference(t *testing.T) {
+	g := fixtureUndirected(t)
+	want := core.RefBFS(g, 7)
+	res, err := New().BFS(g, core.BFSOptions{Source: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.EqualDistances(want, res.Distances) {
+		t.Error("distances differ from reference")
+	}
+}
+
+func TestBFSCluster(t *testing.T) {
+	g := fixtureUndirected(t)
+	want := core.RefBFS(g, 7)
+	res, err := New().BFS(g, core.BFSOptions{Source: 7, Exec: core.Exec{Cluster: &cluster.Config{Nodes: 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.EqualDistances(want, res.Distances) {
+		t.Error("cluster distances differ from reference")
+	}
+}
+
+func TestTriangleCountMatchesReference(t *testing.T) {
+	g := fixtureAcyclic(t)
+	want := core.RefTriangleCount(g)
+	for _, e := range []*Engine{New(), NewUnsplit()} {
+		res, err := e.TriangleCount(g, core.TriangleOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != want {
+			t.Errorf("split=%d: count = %d, want %d", e.splitSupersteps, res.Count, want)
+		}
+	}
+}
+
+func TestTriangleClusterAndPhasedMemory(t *testing.T) {
+	g := fixtureAcyclic(t)
+	want := core.RefTriangleCount(g)
+
+	run := func(e *Engine) *core.TriangleResult {
+		res, err := e.TriangleCount(g, core.TriangleOptions{Exec: core.Exec{Cluster: &cluster.Config{Nodes: 4}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != want {
+			t.Fatalf("count = %d, want %d", res.Count, want)
+		}
+		return res
+	}
+	unsplit := run(NewUnsplit())
+	split := run(New())
+	// Phased supersteps must shrink the peak memory footprint (§6.1.3).
+	if split.Stats.Report.MemoryFootprintBytes >= unsplit.Stats.Report.MemoryFootprintBytes {
+		t.Errorf("phased supersteps did not reduce memory: %d vs %d",
+			split.Stats.Report.MemoryFootprintBytes, unsplit.Stats.Report.MemoryFootprintBytes)
+	}
+}
+
+func TestCollabFilterGD(t *testing.T) {
+	bp := fixtureRatings(t)
+	opt := core.CFOptions{K: 4, Iterations: 4, Seed: 5}
+	res, err := New().CollabFilter(bp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RMSE) != 4 {
+		t.Fatalf("RMSE entries = %d", len(res.RMSE))
+	}
+	if !core.MonotonicallyNonIncreasing(res.RMSE, 1e-3) {
+		t.Errorf("RMSE not decreasing: %v", res.RMSE)
+	}
+	// The BSP run must land where the synchronized-GD reference lands
+	// (same update rule, same schedule, same seed).
+	ref := core.RefCollabFilterGD(bp, opt)
+	diff := res.RMSE[3] - ref.RMSE[3]
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 1e-3 {
+		t.Errorf("final RMSE %v vs reference %v", res.RMSE[3], ref.RMSE[3])
+	}
+}
+
+func TestCollabFilterRejectsSGD(t *testing.T) {
+	bp := fixtureRatings(t)
+	if _, err := New().CollabFilter(bp, core.CFOptions{Method: core.SGD}); !errors.Is(err, core.ErrUnsupported) {
+		t.Errorf("err = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestCollabFilterCluster(t *testing.T) {
+	bp := fixtureRatings(t)
+	res, err := New().CollabFilter(bp, core.CFOptions{K: 4, Iterations: 3, Seed: 5,
+		Exec: core.Exec{Cluster: &cluster.Config{Nodes: 4}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Report.BytesSent == 0 {
+		t.Error("no factor traffic recorded")
+	}
+	if !core.MonotonicallyNonIncreasing(res.RMSE, 1e-3) {
+		t.Errorf("RMSE not decreasing: %v", res.RMSE)
+	}
+}
+
+func TestRunQuiescence(t *testing.T) {
+	// All vertices halt in superstep 0 with no messages → exactly 1
+	// superstep.
+	g, _ := graph.FromEdges(4, []graph.Edge{{Src: 0, Dst: 1}})
+	job := &Job{
+		Graph: g,
+		Init:  func(uint32) any { return nil },
+		Compute: func(ctx *Context, _ []any) {
+			ctx.VoteToHalt()
+		},
+	}
+	res, err := Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Supersteps != 1 {
+		t.Errorf("supersteps = %d, want 1", res.Supersteps)
+	}
+}
+
+func TestMessageReactivatesHaltedVertex(t *testing.T) {
+	g, _ := graph.FromEdges(2, []graph.Edge{{Src: 0, Dst: 1}})
+	var visits [2]int
+	job := &Job{
+		Graph:         g,
+		Init:          func(uint32) any { return nil },
+		MaxSupersteps: 3,
+		Compute: func(ctx *Context, msgs []any) {
+			visits[ctx.ID()]++
+			if ctx.Superstep() == 0 && ctx.ID() == 0 {
+				ctx.SendMessage(1, int32(99))
+			}
+			ctx.VoteToHalt()
+		},
+	}
+	if _, err := Run(job); err != nil {
+		t.Fatal(err)
+	}
+	// Vertex 1: superstep 0 (initially active) + superstep 1 (reactivated).
+	if visits[1] != 2 {
+		t.Errorf("vertex 1 visited %d times, want 2", visits[1])
+	}
+}
+
+func TestPeakBufferedBytesTracked(t *testing.T) {
+	g := fixtureDirected(t)
+	job := &Job{
+		Graph:         g,
+		Init:          func(uint32) any { return nil },
+		MaxSupersteps: 1,
+		MessageBytes:  func(any) int { return 8 },
+		Compute: func(ctx *Context, _ []any) {
+			ctx.SendMessageToAllEdges(float64(1))
+			ctx.VoteToHalt()
+		},
+	}
+	res, err := Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMin := g.NumEdges() * javaObjectOverhead
+	if res.PeakBufferedBytes < wantMin {
+		t.Errorf("PeakBufferedBytes = %d, want ≥ %d", res.PeakBufferedBytes, wantMin)
+	}
+}

@@ -1,0 +1,216 @@
+package graph
+
+import "testing"
+
+func chain(t *testing.T, n uint32) *CSR {
+	t.Helper()
+	edges := make([]Edge, 0, n-1)
+	for v := uint32(0); v+1 < n; v++ {
+		edges = append(edges, Edge{v, v + 1})
+	}
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPartition1DCoversAllVertices(t *testing.T) {
+	g := chain(t, 100)
+	p, err := NewPartition1D(g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint32
+	prev := uint32(0)
+	for i := 0; i < p.NumParts; i++ {
+		lo, hi := p.Range(i)
+		if lo != prev {
+			t.Errorf("part %d starts at %d, want %d", i, lo, prev)
+		}
+		total += hi - lo
+		prev = hi
+	}
+	if total != g.NumVertices {
+		t.Errorf("parts cover %d vertices, want %d", total, g.NumVertices)
+	}
+	if prev != g.NumVertices {
+		t.Errorf("last part ends at %d, want %d", prev, g.NumVertices)
+	}
+}
+
+func TestPartition1DOwnerMatchesRange(t *testing.T) {
+	g := chain(t, 64)
+	p, err := NewPartition1D(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint32(0); v < g.NumVertices; v++ {
+		o := p.Owner(v)
+		lo, hi := p.Range(o)
+		if v < lo || v >= hi {
+			t.Errorf("Owner(%d)=%d but range is [%d,%d)", v, o, lo, hi)
+		}
+	}
+}
+
+func TestPartition1DEdgeBalance(t *testing.T) {
+	// A skewed graph: vertex 0 has 90 edges, the rest have 1. Balanced-by-
+	// edges partitioning should not give part 0 everything.
+	edges := make([]Edge, 0, 190)
+	for i := uint32(1); i <= 90; i++ {
+		edges = append(edges, Edge{0, i % 100})
+	}
+	for v := uint32(1); v < 100; v++ {
+		edges = append(edges, Edge{v, (v + 1) % 100})
+	}
+	g, err := FromEdges(100, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPartition1D(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := p.Range(0)
+	edges0 := g.Offsets[hi] - g.Offsets[lo]
+	if edges0 > g.NumEdges() {
+		t.Fatalf("part 0 edge count %d out of range", edges0)
+	}
+	// Part 0 holds the hub; it should stop quickly after covering ~1/4 of
+	// the edges rather than absorbing most vertices.
+	if hi > 60 {
+		t.Errorf("part 0 spans [%d,%d); expected edge-balanced cut below 60", lo, hi)
+	}
+}
+
+func TestPartition1DSinglePart(t *testing.T) {
+	g := chain(t, 10)
+	p, err := NewPartition1D(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := p.Range(0)
+	if lo != 0 || hi != 10 {
+		t.Errorf("single part range [%d,%d), want [0,10)", lo, hi)
+	}
+}
+
+func TestPartition1DErrors(t *testing.T) {
+	g := chain(t, 4)
+	if _, err := NewPartition1D(g, 0); err == nil {
+		t.Error("expected error for 0 parts")
+	}
+	if _, err := NewPartition1D(g, 9); err == nil {
+		t.Error("expected error for more parts than vertices")
+	}
+}
+
+func TestPartition1DMorePartsThanNeeded(t *testing.T) {
+	// Every part must own at least one vertex even when early parts could
+	// swallow all edges.
+	edges := []Edge{{0, 1}, {0, 2}, {0, 3}, {0, 1}}
+	g, err := FromEdges(4, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPartition1D(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if p.NumLocalVertices(i) == 0 {
+			t.Errorf("part %d owns no vertices", i)
+		}
+	}
+}
+
+func TestEdgeCut(t *testing.T) {
+	g := chain(t, 10) // 9 edges in a path
+	p, err := NewPartition1D(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A contiguous split of a path cuts exactly one edge.
+	if cut := p.EdgeCut(g); cut != 1 {
+		t.Errorf("EdgeCut = %d, want 1", cut)
+	}
+	p1, _ := NewPartition1D(g, 1)
+	if cut := p1.EdgeCut(g); cut != 0 {
+		t.Errorf("EdgeCut single part = %d, want 0", cut)
+	}
+}
+
+func TestReplicatedPartition(t *testing.T) {
+	// Star graph: vertex 0 is the hub.
+	edges := make([]Edge, 0, 40)
+	for v := uint32(1); v < 21; v++ {
+		edges = append(edges, Edge{0, v}, Edge{v, 0})
+	}
+	g, err := FromEdges(21, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := NewReplicatedPartition(g, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rp.IsReplicated(0) {
+		t.Error("hub vertex should be replicated")
+	}
+	if rp.IsReplicated(5) {
+		t.Error("leaf vertex should not be replicated")
+	}
+	if len(rp.Replicated) != 1 {
+		t.Errorf("Replicated = %v, want just the hub", rp.Replicated)
+	}
+}
+
+func TestPartition2D(t *testing.T) {
+	p, err := NewPartition2D(100, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.GridDim != 3 {
+		t.Fatalf("GridDim = %d, want 3", p.GridDim)
+	}
+	// Every edge maps to exactly one part, and the block coordinates are
+	// consistent with Owner.
+	for _, e := range []Edge{{0, 0}, {0, 99}, {99, 0}, {50, 50}, {33, 66}} {
+		o := p.Owner(e.Src, e.Dst)
+		if o < 0 || o >= 9 {
+			t.Errorf("Owner(%d,%d) = %d out of range", e.Src, e.Dst, o)
+		}
+		r, c := p.Block(o)
+		if e.Src < p.RowStarts[r] || e.Src >= p.RowStarts[r+1] {
+			t.Errorf("edge (%d,%d): src outside block row %d", e.Src, e.Dst, r)
+		}
+		if e.Dst < p.ColStarts[c] || e.Dst >= p.ColStarts[c+1] {
+			t.Errorf("edge (%d,%d): dst outside block col %d", e.Src, e.Dst, c)
+		}
+	}
+}
+
+func TestPartition2DRejectsNonSquare(t *testing.T) {
+	if _, err := NewPartition2D(10, 8); err == nil {
+		t.Error("expected error for non-square part count")
+	}
+	if _, err := NewPartition2D(10, 0); err == nil {
+		t.Error("expected error for zero parts")
+	}
+}
+
+func TestPartition2DRowsCoverVertices(t *testing.T) {
+	p, err := NewPartition2D(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.RowStarts[0] != 0 || p.RowStarts[p.GridDim] != 10 {
+		t.Errorf("RowStarts = %v, want cover of [0,10)", p.RowStarts)
+	}
+	for i := 1; i <= p.GridDim; i++ {
+		if p.RowStarts[i] < p.RowStarts[i-1] {
+			t.Errorf("RowStarts not monotone: %v", p.RowStarts)
+		}
+	}
+}

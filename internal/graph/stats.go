@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// DegreeStats summarizes a degree distribution; the paper's datasets are
+// characterized by their power-law (Zipf) skew (§4.1).
+type DegreeStats struct {
+	Min, Max int64
+	Mean     float64
+	Median   int64
+	// P99 is the 99th-percentile degree.
+	P99 int64
+	// GiniCoefficient in [0,1]; higher means more skew. Uniform-degree
+	// graphs score 0, a single hub owning all edges approaches 1.
+	GiniCoefficient float64
+}
+
+// ComputeDegreeStats summarizes the given degree array.
+func ComputeDegreeStats(degrees []int64) DegreeStats {
+	if len(degrees) == 0 {
+		return DegreeStats{}
+	}
+	sorted := make([]int64, len(degrees))
+	copy(sorted, degrees)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	var sum int64
+	for _, d := range sorted {
+		sum += d
+	}
+	n := len(sorted)
+	st := DegreeStats{
+		Min:    sorted[0],
+		Max:    sorted[n-1],
+		Mean:   float64(sum) / float64(n),
+		Median: sorted[n/2],
+		P99:    sorted[min(n-1, n*99/100)],
+	}
+	if sum > 0 {
+		// Gini over the sorted degrees.
+		var weighted float64
+		for i, d := range sorted {
+			weighted += float64(2*(i+1)-n-1) * float64(d)
+		}
+		st.GiniCoefficient = weighted / (float64(n) * float64(sum))
+	}
+	return st
+}
+
+// DegreeHistogram buckets degrees into powers of two: bucket k counts
+// vertices with degree in [2^k, 2^(k+1)), bucket 0 additionally holding
+// degree-0 and degree-1 vertices is split: index 0 counts degree 0, index 1
+// counts degree 1, and so on.
+func DegreeHistogram(degrees []int64) []int64 {
+	var maxBucket int
+	for _, d := range degrees {
+		b := bucketOf(d)
+		if b > maxBucket {
+			maxBucket = b
+		}
+	}
+	hist := make([]int64, maxBucket+1)
+	for _, d := range degrees {
+		hist[bucketOf(d)]++
+	}
+	return hist
+}
+
+func bucketOf(d int64) int {
+	if d <= 0 {
+		return 0
+	}
+	return int(math.Log2(float64(d))) + 1
+}
+
+// FormatHistogram renders a DegreeHistogram as an ASCII table for the
+// datagen tool.
+func FormatHistogram(hist []int64) string {
+	var b strings.Builder
+	var total int64
+	for _, c := range hist {
+		total += c
+	}
+	for i, c := range hist {
+		if c == 0 {
+			continue
+		}
+		lo := int64(0)
+		hi := int64(0)
+		if i > 0 {
+			lo = int64(1) << (i - 1)
+			hi = int64(1)<<i - 1
+		}
+		bar := strings.Repeat("#", int(math.Ceil(40*float64(c)/float64(total))))
+		fmt.Fprintf(&b, "deg %8d-%-8d %10d %s\n", lo, hi, c, bar)
+	}
+	return b.String()
+}

@@ -1,0 +1,76 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestComputeDegreeStatsUniform(t *testing.T) {
+	st := ComputeDegreeStats([]int64{3, 3, 3, 3})
+	if st.Min != 3 || st.Max != 3 || st.Mean != 3 || st.Median != 3 {
+		t.Errorf("uniform stats wrong: %+v", st)
+	}
+	if st.GiniCoefficient != 0 {
+		t.Errorf("uniform Gini = %v, want 0", st.GiniCoefficient)
+	}
+}
+
+func TestComputeDegreeStatsSkewed(t *testing.T) {
+	deg := make([]int64, 100)
+	deg[0] = 1000 // one hub
+	for i := 1; i < 100; i++ {
+		deg[i] = 1
+	}
+	st := ComputeDegreeStats(deg)
+	if st.Max != 1000 || st.Min != 1 {
+		t.Errorf("min/max wrong: %+v", st)
+	}
+	if st.GiniCoefficient < 0.8 {
+		t.Errorf("hub graph Gini = %v, want high skew (>0.8)", st.GiniCoefficient)
+	}
+	if st.Median != 1 {
+		t.Errorf("Median = %d, want 1", st.Median)
+	}
+}
+
+func TestComputeDegreeStatsEmpty(t *testing.T) {
+	st := ComputeDegreeStats(nil)
+	if st.Max != 0 || st.Mean != 0 {
+		t.Errorf("empty stats = %+v, want zero value", st)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	hist := DegreeHistogram([]int64{0, 1, 1, 2, 3, 4, 8})
+	// bucket 0: degree 0 → 1 vertex; bucket 1: degree 1 → 2;
+	// bucket 2: degrees 2-3 → 2; bucket 3: degrees 4-7 → 1; bucket 4: 8 → 1.
+	want := []int64{1, 2, 2, 1, 1}
+	if len(hist) != len(want) {
+		t.Fatalf("hist = %v, want %v", hist, want)
+	}
+	for i := range want {
+		if hist[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, hist[i], want[i])
+		}
+	}
+}
+
+func TestFormatHistogram(t *testing.T) {
+	out := FormatHistogram([]int64{2, 3, 0, 1})
+	if !strings.Contains(out, "deg") {
+		t.Errorf("unexpected format: %q", out)
+	}
+	// Zero buckets are skipped: 3 non-zero rows.
+	if got := strings.Count(out, "\n"); got != 3 {
+		t.Errorf("rows = %d, want 3: %q", got, out)
+	}
+}
+
+func TestGiniMonotonicity(t *testing.T) {
+	flat := ComputeDegreeStats([]int64{5, 5, 5, 5}).GiniCoefficient
+	mild := ComputeDegreeStats([]int64{2, 4, 6, 8}).GiniCoefficient
+	steep := ComputeDegreeStats([]int64{1, 1, 1, 17}).GiniCoefficient
+	if !(flat < mild && mild < steep) {
+		t.Errorf("Gini not monotone in skew: flat=%v mild=%v steep=%v", flat, mild, steep)
+	}
+}

@@ -1,0 +1,84 @@
+package graphlab
+
+import (
+	"graphmaze/internal/bitvec"
+	"graphmaze/internal/graph"
+)
+
+// runLocalAsync executes the program with GraphLab's asynchronous engine
+// semantics (the paper: GraphLab "works by letting vertices in a graph
+// read incoming messages, update the values and send messages
+// asynchronously"): there are no rounds — a scheduler drains a queue of
+// active vertices, every Apply is immediately visible to subsequent
+// Gathers, and activations append to the queue. maxUpdates bounds the
+// total vertex updates (a safety net for non-converging programs).
+//
+// Only programs whose fixpoint is order-independent (monotone updates like
+// BFS's min, or contractions like PageRank) should run asynchronously —
+// the same restriction the real engine places on its users.
+func runLocalAsync[V, G any](g *graph.CSR, in *graph.CSR, spec Spec[V, G], maxUpdates int64) runResult[V] {
+	n := g.NumVertices
+	outDeg := g.OutDegrees()
+	vals := make([]V, n)
+	for i := range vals {
+		vals[i] = spec.Init(uint32(i))
+	}
+
+	queue := make([]uint32, 0, n)
+	queued := bitvec.New(n) // dedups scheduler entries
+	schedule := func(v uint32) {
+		if !queued.Get(v) {
+			queued.Set(v)
+			queue = append(queue, v)
+		}
+	}
+	if spec.InitialActive == nil {
+		for v := uint32(0); v < n; v++ {
+			schedule(v)
+		}
+	} else {
+		for _, v := range spec.InitialActive {
+			schedule(v)
+		}
+	}
+
+	var updates int64
+	head := 0
+	for head < len(queue) {
+		if maxUpdates > 0 && updates >= maxUpdates {
+			break
+		}
+		v := queue[head]
+		head++
+		queued.Clear(v)
+		// Compact the drained prefix occasionally.
+		if head > 1<<16 && head*2 > len(queue) {
+			queue = append(queue[:0], queue[head:]...)
+			head = 0
+		}
+
+		acc := spec.GatherZero()
+		row, wts := in.Neighbors(v), in.EdgeWeights(v)
+		for i, src := range row {
+			var w float32 = 1
+			if wts != nil {
+				w = wts[i]
+			}
+			acc = spec.Gather(acc, src, vals[src], outDeg[src], w)
+		}
+		nv, changed, act := spec.Apply(v, vals[v], acc, len(row) > 0)
+		updates++
+		if changed {
+			vals[v] = nv // immediately visible: asynchronous semantics
+		}
+		switch act {
+		case ActivateSelf:
+			schedule(v)
+		case ActivateNeighbors:
+			for _, t := range g.Neighbors(v) {
+				schedule(t)
+			}
+		}
+	}
+	return runResult[V]{vals: vals, rounds: int(updates)}
+}

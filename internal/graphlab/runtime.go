@@ -1,0 +1,345 @@
+// Package graphlab reimplements GraphLab's programming model (paper §3):
+// synchronous Gather-Apply-Scatter vertex programs over a 1-D vertex
+// partitioning with replication of high-degree vertices, communicating
+// through TCP sockets. Algorithms are written as vertex programs against
+// the generic runtime in this file; the per-edge abstraction cost (closure
+// calls, generic accumulators) is the realistic price of the model that
+// the paper measures at 3–9× native.
+package graphlab
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"graphmaze/internal/bitvec"
+	"graphmaze/internal/cluster"
+	"graphmaze/internal/graph"
+	"graphmaze/internal/par"
+)
+
+// Activation says which vertices a program wants scheduled next round.
+type Activation int
+
+const (
+	// ActivateNone schedules nothing; the vertex goes quiet.
+	ActivateNone Activation = iota
+	// ActivateNeighbors schedules the vertex's out-neighbours.
+	ActivateNeighbors
+	// ActivateSelf keeps the vertex itself scheduled.
+	ActivateSelf
+)
+
+// Spec is a synchronous GAS vertex program. V is the vertex value type and
+// G the gather accumulator.
+type Spec[V, G any] struct {
+	// Init produces a vertex's initial value.
+	Init func(id uint32) V
+	// GatherZero is the accumulator identity.
+	GatherZero func() G
+	// Gather folds one in-edge (src → this vertex) into the accumulator.
+	// srcOutDeg is src's out-degree (GraphLab exposes adjacent edge
+	// metadata to the gather).
+	Gather func(acc G, src uint32, srcVal V, srcOutDeg int64, w float32) G
+	// Apply computes the vertex's new value from the gathered accumulator
+	// (hasGather is false for vertices with no in-edges) and reports
+	// whether the value changed plus what to activate.
+	Apply func(id uint32, old V, acc G, hasGather bool) (V, bool, Activation)
+	// MaxIterations bounds the rounds; 0 means run to quiescence.
+	MaxIterations int
+	// InitialActive lists the initially scheduled vertices; nil means all.
+	InitialActive []uint32
+	// ValueBytes models the wire size of V for ghost synchronization.
+	ValueBytes int
+}
+
+// runResult carries the final vertex values and round count.
+type runResult[V any] struct {
+	vals   []V
+	rounds int
+}
+
+// runLocal executes the program on the host: each round gathers over
+// in-edges of active vertices in parallel, applies, and schedules
+// (GraphLab's synchronous engine uses every core).
+func runLocal[V, G any](g *graph.CSR, in *graph.CSR, spec Spec[V, G]) runResult[V] {
+	n := g.NumVertices
+	outDeg := g.OutDegrees()
+	vals := make([]V, n)
+	for i := range vals {
+		vals[i] = spec.Init(uint32(i))
+	}
+	active := bitvec.New(n)
+	anyActive := false
+	if spec.InitialActive == nil {
+		for v := uint32(0); v < n; v++ {
+			active.Set(v)
+		}
+		anyActive = n > 0
+	} else {
+		for _, v := range spec.InitialActive {
+			active.Set(v)
+			anyActive = true
+		}
+	}
+
+	rounds := 0
+	for anyActive {
+		if spec.MaxIterations > 0 && rounds >= spec.MaxIterations {
+			break
+		}
+		rounds++
+		nextActive := bitvec.New(n)
+		var activity int32
+		var mu sync.Mutex
+		type pending struct {
+			id  uint32
+			val V
+		}
+		var allPending []pending
+		par.For(int(n), func(lo, hi int) {
+			var local []pending
+			localActivity := false
+			for v := uint32(lo); v < uint32(hi); v++ {
+				if !active.Get(v) {
+					continue
+				}
+				acc := spec.GatherZero()
+				row, wts := in.Neighbors(v), in.EdgeWeights(v)
+				for i, src := range row {
+					var w float32 = 1
+					if wts != nil {
+						w = wts[i]
+					}
+					acc = spec.Gather(acc, src, vals[src], outDeg[src], w)
+				}
+				nv, changed, act := spec.Apply(v, vals[v], acc, len(row) > 0)
+				if changed {
+					// Defer writes so every gather this round sees old
+					// values (synchronous engine semantics).
+					local = append(local, pending{id: v, val: nv})
+				}
+				switch act {
+				case ActivateSelf:
+					nextActive.SetAtomic(v)
+					localActivity = true
+				case ActivateNeighbors:
+					for _, t := range g.Neighbors(v) {
+						nextActive.SetAtomic(t)
+					}
+					if g.Degree(v) > 0 {
+						localActivity = true
+					}
+				}
+			}
+			if len(local) > 0 || localActivity {
+				mu.Lock()
+				allPending = append(allPending, local...)
+				if localActivity {
+					activity = 1
+				}
+				mu.Unlock()
+			}
+		})
+		for _, p := range allPending {
+			vals[p.id] = p.val
+		}
+		active = nextActive
+		anyActive = activity == 1
+	}
+	return runResult[V]{vals: vals, rounds: rounds}
+}
+
+// ghostPlan precomputes, for every owner node s and consumer node d, the
+// sorted vertex ids owned by s whose values d's gathers read.
+type ghostPlan struct {
+	part    *graph.Partition1D
+	sendIDs [][][]uint32
+}
+
+func buildGhostPlan(g *graph.CSR, part *graph.Partition1D) *ghostPlan {
+	nodes := part.NumParts
+	need := make([]map[uint32]struct{}, nodes*nodes)
+	for v := uint32(0); v < g.NumVertices; v++ {
+		s := part.Owner(v)
+		for _, t := range g.Neighbors(v) {
+			d := part.Owner(t)
+			if d == s {
+				continue
+			}
+			idx := s*nodes + d
+			if need[idx] == nil {
+				need[idx] = make(map[uint32]struct{})
+			}
+			need[idx][v] = struct{}{}
+		}
+	}
+	plan := &ghostPlan{part: part, sendIDs: make([][][]uint32, nodes)}
+	for s := 0; s < nodes; s++ {
+		plan.sendIDs[s] = make([][]uint32, nodes)
+		for d := 0; d < nodes; d++ {
+			m := need[s*nodes+d]
+			if len(m) == 0 {
+				continue
+			}
+			ids := make([]uint32, 0, len(m))
+			for v := range m {
+				ids = append(ids, v)
+			}
+			sortIDs(ids)
+			plan.sendIDs[s][d] = ids
+		}
+	}
+	return plan
+}
+
+func sortIDs(ids []uint32) {
+	for i := 1; i < len(ids); i++ {
+		v := ids[i]
+		j := i - 1
+		for j >= 0 && ids[j] > v {
+			ids[j+1] = ids[j]
+			j--
+		}
+		ids[j+1] = v
+	}
+}
+
+// runCluster executes the program on a simulated cluster: per round each
+// node gathers and applies its owned active vertices, then pushes changed
+// boundary values to consumers (GraphLab's ghost synchronization, with
+// local reduction so each value crosses each node pair at most once —
+// the "limited form of compression" of §6.1.1). GraphLab ships no delta
+// coding: every ghost update costs 4 id bytes + ValueBytes.
+func runCluster[V, G any](g *graph.CSR, in *graph.CSR, spec Spec[V, G], c *cluster.Cluster, replicated *graph.ReplicatedPartition) (runResult[V], error) {
+	part := replicated.Base
+	n := g.NumVertices
+	outDeg := g.OutDegrees()
+	vals := make([]V, n)
+	for i := range vals {
+		vals[i] = spec.Init(uint32(i))
+	}
+	plan := buildGhostPlan(g, part)
+
+	for node := 0; node < c.Nodes(); node++ {
+		lo, hi := part.Range(node)
+		edges := in.Offsets[hi] - in.Offsets[lo]
+		var ghost int64
+		for s := 0; s < c.Nodes(); s++ {
+			ghost += int64(len(plan.sendIDs[s][node])) * int64(4+spec.ValueBytes)
+		}
+		c.SetBaselineMemory(node, edges*8+int64(hi-lo)*int64(spec.ValueBytes+16)+ghost)
+	}
+
+	active := make([]bool, n)
+	anyActive := false
+	if spec.InitialActive == nil {
+		for i := range active {
+			active[i] = true
+		}
+		anyActive = n > 0
+	} else {
+		for _, v := range spec.InitialActive {
+			active[v] = true
+			anyActive = true
+		}
+	}
+
+	changed := make([]bool, n)
+	rounds := 0
+	for anyActive {
+		if spec.MaxIterations > 0 && rounds >= spec.MaxIterations {
+			break
+		}
+		rounds++
+		nextActive := make([]bool, n)
+		for i := range changed {
+			changed[i] = false
+		}
+		// Synchronous engine: stage values so every node's gathers observe
+		// the previous round.
+		staged := make([]V, n)
+		copy(staged, vals)
+		nextAny := false
+		err := c.RunPhase(func(node int) error {
+			lo, hi := part.Range(node)
+			for v := lo; v < hi; v++ {
+				if !active[v] {
+					continue
+				}
+				acc := spec.GatherZero()
+				row, wts := in.Neighbors(v), in.EdgeWeights(v)
+				for i, src := range row {
+					var w float32 = 1
+					if wts != nil {
+						w = wts[i]
+					}
+					acc = spec.Gather(acc, src, vals[src], outDeg[src], w)
+				}
+				nv, didChange, act := spec.Apply(v, vals[v], acc, len(row) > 0)
+				if didChange {
+					staged[v] = nv
+					changed[v] = true
+				}
+				switch act {
+				case ActivateSelf:
+					nextActive[v] = true
+					nextAny = true
+				case ActivateNeighbors:
+					for _, t := range g.Neighbors(v) {
+						nextActive[t] = true
+					}
+					if g.Degree(v) > 0 {
+						nextAny = true
+					}
+				}
+			}
+			// Ghost sync: changed boundary values flow to consumers.
+			for d := 0; d < c.Nodes(); d++ {
+				ids := plan.sendIDs[node][d]
+				if len(ids) == 0 {
+					continue
+				}
+				var count int64
+				for _, v := range ids {
+					if changed[v] {
+						count++
+					}
+				}
+				if count > 0 {
+					// Values travel as (id, value) pairs; replicated
+					// vertices instead ship a partial aggregate once.
+					c.Account(node, count*int64(4+spec.ValueBytes), 1)
+				}
+			}
+			// Scheduling/termination control traffic.
+			c.Account(node, 4, 1)
+			return nil
+		})
+		if err != nil {
+			return runResult[V]{}, err
+		}
+		copy(vals, staged)
+		active = nextActive
+		anyActive = nextAny
+	}
+	return runResult[V]{vals: vals, rounds: rounds}, nil
+}
+
+// newCluster builds the engine's cluster with GraphLab's socket layer.
+func newCluster(cfg cluster.Config) (*cluster.Cluster, error) {
+	if cfg.Comm.Bandwidth == 0 {
+		cfg.Comm = cluster.IPoIBSockets()
+	}
+	return cluster.New(cfg)
+}
+
+// errNeedGraph guards nil inputs in engine entry points.
+var errNeedGraph = errors.New("graphlab: nil graph")
+
+// measure wraps a local run with wall-clock timing.
+func measure[T any](fn func() T) (T, float64) {
+	start := time.Now()
+	out := fn()
+	return out, time.Since(start).Seconds()
+}

@@ -1,0 +1,349 @@
+// Package harness defines the paper's experiments: one runnable definition
+// per table and figure of the evaluation (DESIGN.md §4 maps them). The
+// cmd/graphbench binary and the repository's benchmarks both drive this
+// package.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"graphmaze/internal/cluster"
+	"graphmaze/internal/combblas"
+	"graphmaze/internal/core"
+	"graphmaze/internal/galois"
+	"graphmaze/internal/gen"
+	"graphmaze/internal/giraph"
+	"graphmaze/internal/graph"
+	"graphmaze/internal/graphlab"
+	"graphmaze/internal/metrics"
+	"graphmaze/internal/native"
+	"graphmaze/internal/par"
+	"graphmaze/internal/socialite"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Out receives the experiment's report (required).
+	Out io.Writer
+	// Scale is the base RMAT scale for synthetic inputs; 0 picks the
+	// experiment default.
+	Scale int
+	// Nodes overrides the node counts of scaling experiments.
+	Nodes []int
+	// Iterations for the iterative algorithms; 0 picks the default (5).
+	Iterations int
+	// Quick shrinks inputs for smoke-testing.
+	Quick bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Iterations == 0 {
+		o.Iterations = 5
+	}
+	return o
+}
+
+// Experiment is one reproducible artifact of the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(opt Options) error
+}
+
+// Experiments lists every table and figure reproduction.
+func Experiments() []Experiment {
+	return []Experiment{
+		{ID: "table4", Title: "Table 4: native implementation efficiency vs hardware limits", Run: Table4},
+		{ID: "table5", Title: "Table 5: single-node slowdowns vs native (geomean)", Run: Table5},
+		{ID: "table6", Title: "Table 6: multi-node slowdowns vs native (geomean)", Run: Table6},
+		{ID: "table7", Title: "Table 7: SociaLite network-optimization speedups", Run: Table7},
+		{ID: "fig3", Title: "Figure 3: single-node runtimes per dataset", Run: Figure3},
+		{ID: "fig4", Title: "Figure 4: weak scaling on synthetic graphs", Run: Figure4},
+		{ID: "fig5", Title: "Figure 5: large real-world graphs on multiple nodes", Run: Figure5},
+		{ID: "fig6", Title: "Figure 6: system metrics on 4-node runs", Run: Figure6},
+		{ID: "fig7", Title: "Figure 7: native optimization ablation (PageRank, BFS)", Run: Figure7},
+		{ID: "tcablation", Title: "§6.1.2: triangle-counting bit-vector ablation", Run: TriangleBitvectorAblation},
+		{ID: "giraphsplit", Title: "§6.1.3: Giraph phased-superstep memory", Run: GiraphPhasedSupersteps},
+		{ID: "giraphfix", Title: "§6.2: Giraph roadmap (combiners + more workers)", Run: GiraphRoadmap},
+		{ID: "sgdgd", Title: "§3.2: SGD vs GD convergence", Run: SGDvsGD},
+	}
+}
+
+// Run executes the experiment with the given id ("all" runs everything).
+func Run(id string, opt Options) error {
+	if id == "all" {
+		for _, exp := range Experiments() {
+			fmt.Fprintf(opt.Out, "==== %s — %s ====\n", exp.ID, exp.Title)
+			if err := exp.Run(opt); err != nil {
+				return fmt.Errorf("%s: %w", exp.ID, err)
+			}
+			fmt.Fprintln(opt.Out)
+		}
+		return nil
+	}
+	for _, exp := range Experiments() {
+		if exp.ID == id {
+			return exp.Run(opt)
+		}
+	}
+	ids := make([]string, 0)
+	for _, exp := range Experiments() {
+		ids = append(ids, exp.ID)
+	}
+	return fmt.Errorf("harness: unknown experiment %q (have %s, all)", id, strings.Join(ids, ", "))
+}
+
+// Algo identifies one of the paper's four algorithms.
+type Algo int
+
+const (
+	PR Algo = iota
+	BFS
+	TC
+	CF
+)
+
+func (a Algo) String() string {
+	switch a {
+	case PR:
+		return "PageRank"
+	case BFS:
+		return "BFS"
+	case TC:
+		return "TriangleCount"
+	case CF:
+		return "CollabFilter"
+	default:
+		return fmt.Sprintf("algo(%d)", int(a))
+	}
+}
+
+// Algos lists all four in the paper's order.
+func Algos() []Algo { return []Algo{PR, BFS, CF, TC} }
+
+// engines returns the comparison set in the paper's column order.
+func engines() []core.Engine {
+	return []core.Engine{native.New(), combblas.New(), graphlab.New(), socialite.New(), giraph.New(), galois.New()}
+}
+
+// inputs bundles prepared graphs for all four algorithms.
+type inputs struct {
+	pr, bfs, tc *graph.CSR
+	cf          *graph.Bipartite
+}
+
+// buildInputs generates a synthetic input set at the given scale.
+func buildInputs(scale int, seed int64) (inputs, error) {
+	var in inputs
+	mk := func(cfg gen.RMATConfig, opt graph.BuildOptions) (*graph.CSR, error) {
+		edges, err := gen.RMAT(cfg)
+		if err != nil {
+			return nil, err
+		}
+		b := graph.NewBuilder(cfg.NumVertices())
+		b.AddEdges(edges)
+		return b.Build(opt)
+	}
+	var err error
+	if in.pr, err = mk(gen.Graph500Config(scale, 16, seed), graph.BuildOptions{Dedup: true, DropSelfLoops: true, SortAdjacency: true}); err != nil {
+		return in, err
+	}
+	if in.bfs, err = mk(gen.Graph500Config(scale, 16, seed+1), graph.BuildOptions{Orientation: graph.Symmetrize, Dedup: true, DropSelfLoops: true, SortAdjacency: true}); err != nil {
+		return in, err
+	}
+	if in.tc, err = mk(gen.TriangleConfig(scale, 8, seed+2), graph.BuildOptions{Orientation: graph.OrientAcyclic, Dedup: true, SortAdjacency: true}); err != nil {
+		return in, err
+	}
+	if in.cf, err = gen.Ratings(gen.DefaultRatingsConfig(scale, 16, seed+3)); err != nil {
+		return in, err
+	}
+	return in, nil
+}
+
+// measurement is one (engine, algorithm, input) observation.
+type measurement struct {
+	seconds float64 // the paper's metric: per-iteration for PR/CF, total for BFS/TC
+	report  metrics.Report
+	err     error
+}
+
+// runOne executes algo on engine e over the input, single-node when
+// nodes ≤ 1. The modeled node memory mirrors the paper's setup, where
+// datasets were sized so the hungriest framework used >50% of a node
+// (§5.4): capacity scales with the input rather than staying at the
+// paper's literal 64 GB.
+func runOne(e core.Engine, algo Algo, in inputs, nodes, iterations int) measurement {
+	var exec core.Exec
+	if nodes > 1 {
+		var inputBytes int64
+		switch algo {
+		case PR:
+			inputBytes = in.pr.MemoryBytes()
+		case BFS:
+			inputBytes = in.bfs.MemoryBytes()
+		case TC:
+			inputBytes = in.tc.MemoryBytes()
+		case CF:
+			inputBytes = in.cf.MemoryBytes()
+		}
+		// Capacity relative to input mirrors the paper's provisioning: the
+		// synthetic runs fit (TC inputs get 4× more headroom, as the
+		// paper's 32M-edges/node TC sizing did vs PageRank's 128M), while
+		// CombBLAS's A² product on the Twitter-scale input — a ≈70×
+		// blowup with block skew — exhausts memory, reproducing Figure
+		// 5's missing data point.
+		multiplier := int64(64)
+		if algo == TC {
+			multiplier = 128
+		}
+		memPerNode := multiplier * inputBytes / int64(nodes)
+		exec = core.Exec{Cluster: &cluster.Config{Nodes: nodes, MemoryPerNode: memPerNode}}
+	}
+	switch algo {
+	case PR:
+		res, err := e.PageRank(in.pr, core.PageRankOptions{Iterations: iterations, Exec: exec})
+		if err != nil {
+			return measurement{err: err}
+		}
+		return measurement{seconds: res.Stats.WallSeconds / float64(iterations), report: res.Stats.Report}
+	case BFS:
+		res, err := e.BFS(in.bfs, core.BFSOptions{Source: bfsSource(in.bfs), Exec: exec})
+		if err != nil {
+			return measurement{err: err}
+		}
+		return measurement{seconds: res.Stats.WallSeconds, report: res.Stats.Report}
+	case TC:
+		res, err := e.TriangleCount(in.tc, core.TriangleOptions{Exec: exec})
+		if err != nil {
+			return measurement{err: err}
+		}
+		return measurement{seconds: res.Stats.WallSeconds, report: res.Stats.Report}
+	case CF:
+		method := core.GradientDescent
+		if e.Capabilities().SGD {
+			method = core.SGD // the paper compares time/iteration, native & Galois run SGD
+		}
+		res, err := e.CollabFilter(in.cf, core.CFOptions{Method: method, K: 8, Iterations: iterations, Seed: 7,
+			SkipRMSETrajectory: true, Exec: exec})
+		if err != nil {
+			return measurement{err: err}
+		}
+		return measurement{seconds: res.Stats.WallSeconds / float64(iterations), report: res.Stats.Report}
+	default:
+		return measurement{err: fmt.Errorf("harness: unknown algorithm %v", algo)}
+	}
+}
+
+// bfsSource picks a well-connected start vertex (the paper's BFS runs
+// traverse most of the graph; a degree-0 start would trivialize the run).
+func bfsSource(g *graph.CSR) uint32 {
+	best := uint32(0)
+	for v := uint32(0); v < g.NumVertices; v++ {
+		if g.Degree(v) > g.Degree(best) {
+			best = v
+		}
+	}
+	return best
+}
+
+// geomean of positive values; zero if none.
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// formatSeconds renders a runtime compactly.
+func formatSeconds(s float64) string {
+	switch {
+	case s <= 0:
+		return "-"
+	case s < 1e-3:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.3gs", s)
+	}
+}
+
+// tableWriter accumulates aligned rows.
+type tableWriter struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *tableWriter) addRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *tableWriter) write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+// hostPeakBandwidth measures an approximate memory-bandwidth ceiling for
+// the host with a parallel triad pass, standing in for the paper's STREAM
+// numbers when normalizing Table 4.
+func hostPeakBandwidth() float64 {
+	const n = 1 << 22
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	for i := range a {
+		a[i] = 1
+		b[i] = 2
+	}
+	best := 0.0
+	for trial := 0; trial < 3; trial++ {
+		start := time.Now()
+		par.For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				c[i] = a[i] + 2.5*b[i]
+			}
+		})
+		elapsed := time.Since(start).Seconds()
+		if bw := float64(3*8*n) / elapsed; bw > best {
+			best = bw
+		}
+	}
+	return best
+}
+
+// sortedKeys returns a map's keys in order (for deterministic output).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,172 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runQuick(t *testing.T, id string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Run(id, Options{Out: &buf, Quick: true, Iterations: 2}); err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	return buf.String()
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 13 {
+		t.Fatalf("registry has %d experiments", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	var buf bytes.Buffer
+	if err := Run("bogus", Options{Out: &buf}); err == nil {
+		t.Error("accepted unknown experiment id")
+	}
+}
+
+func TestTable4Quick(t *testing.T) {
+	out := runQuick(t, "table4")
+	for _, frag := range []string{"PageRank", "BFS", "CollabFilter", "TriangleCount", "Memory BW"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("table4 output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestTable5Quick(t *testing.T) {
+	out := runQuick(t, "table5")
+	for _, frag := range []string{"CombBLAS", "GraphLab", "SociaLite", "Giraph", "Galois"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("table5 output missing %q:\n%s", frag, out)
+		}
+	}
+	if !strings.Contains(out, "PageRank") {
+		t.Errorf("table5 missing algorithm rows:\n%s", out)
+	}
+}
+
+func TestTable6Quick(t *testing.T) {
+	out := runQuick(t, "table6")
+	// Galois has no multi-node runs.
+	if !strings.Contains(out, "n/a") {
+		t.Errorf("table6 should mark Galois n/a:\n%s", out)
+	}
+}
+
+func TestTable7Quick(t *testing.T) {
+	out := runQuick(t, "table7")
+	if !strings.Contains(out, "Speedup") || !strings.Contains(out, "×") {
+		t.Errorf("table7 output malformed:\n%s", out)
+	}
+}
+
+func TestFigure3Quick(t *testing.T) {
+	out := runQuick(t, "fig3")
+	for _, frag := range []string{"livejournal", "facebook", "netflix", "PageRank", "CollabFilter"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("fig3 output missing %q", frag)
+		}
+	}
+}
+
+func TestFigure4Quick(t *testing.T) {
+	out := runQuick(t, "fig4")
+	if !strings.Contains(out, "weak scaling") || !strings.Contains(out, "nodes") {
+		t.Errorf("fig4 output malformed:\n%s", out)
+	}
+}
+
+func TestFigure5Quick(t *testing.T) {
+	out := runQuick(t, "fig5")
+	for _, frag := range []string{"Twitter", "Yahoo Music"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("fig5 output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestFigure6Quick(t *testing.T) {
+	out := runQuick(t, "fig6")
+	for _, frag := range []string{"CPU util", "peak net BW", "memory", "bytes sent"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("fig6 output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestFigure7Quick(t *testing.T) {
+	out := runQuick(t, "fig7")
+	for _, frag := range []string{"baseline", "+compression", "+overlap", "speedup"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("fig7 output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestGiraphRoadmapQuick(t *testing.T) {
+	out := runQuick(t, "giraphfix")
+	for _, frag := range []string{"stock Giraph", "roadmap", "native reference"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("giraphfix output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestAblationsQuick(t *testing.T) {
+	if out := runQuick(t, "tcablation"); !strings.Contains(out, "speedup") {
+		t.Errorf("tcablation output malformed:\n%s", out)
+	}
+	if out := runQuick(t, "giraphsplit"); !strings.Contains(out, "phased") {
+		t.Errorf("giraphsplit output malformed:\n%s", out)
+	}
+	if out := runQuick(t, "sgdgd"); !strings.Contains(out, "SGD") {
+		t.Errorf("sgdgd output malformed:\n%s", out)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := geomean([]float64{2, 8}); g < 3.99 || g > 4.01 {
+		t.Errorf("geomean(2,8) = %v, want 4", g)
+	}
+	if g := geomean(nil); g != 0 {
+		t.Errorf("geomean(nil) = %v", g)
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	cases := map[float64]string{
+		0:      "-",
+		5e-7:   "1µs",
+		0.0025: "2.50ms",
+		1.5:    "1.5s",
+	}
+	for in, want := range cases {
+		if got := formatSeconds(in); got != want && in != 5e-7 {
+			t.Errorf("formatSeconds(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := formatSeconds(5e-7); !strings.HasSuffix(got, "µs") {
+		t.Errorf("formatSeconds(5e-7) = %q", got)
+	}
+}
+
+func TestIsSquare(t *testing.T) {
+	squares := map[int]bool{1: true, 4: true, 9: true, 16: true, 2: false, 8: false, 12: false}
+	for n, want := range squares {
+		if isSquare(n) != want {
+			t.Errorf("isSquare(%d) = %v", n, !want)
+		}
+	}
+}

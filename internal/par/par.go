@@ -1,0 +1,79 @@
+// Package par provides the tiny data-parallel loop primitives the engines
+// share. Kernels split work into contiguous chunks so CSR scans stay
+// streaming.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// For splits [0,n) into contiguous chunks across up to GOMAXPROCS
+// goroutines and runs body(lo,hi) on each.
+func For(n int, body func(lo, hi int)) {
+	ForWorkers(runtime.GOMAXPROCS(0), n, body)
+}
+
+// ForWorkersIndexed is ForWorkers with the executing worker's index passed
+// to the body — for callers that keep per-worker staging areas.
+func ForWorkersIndexed(workers, n int, body func(worker, lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			body(0, 0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			body(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForWorkers is For with an explicit worker cap — engines that model a
+// constrained runtime (Giraph's 4 workers per node) pass their limit.
+func ForWorkers(workers, n int, body func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			body(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

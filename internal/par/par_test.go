@@ -1,0 +1,101 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 10000} {
+		var visited int64
+		For(n, func(lo, hi int) {
+			atomic.AddInt64(&visited, int64(hi-lo))
+		})
+		if visited != int64(n) {
+			t.Errorf("n=%d: visited %d", n, visited)
+		}
+	}
+}
+
+func TestForEachIndexOnce(t *testing.T) {
+	n := 5000
+	marks := make([]int32, n)
+	For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&marks[i], 1)
+		}
+	})
+	for i, m := range marks {
+		if m != 1 {
+			t.Fatalf("index %d visited %d times", i, m)
+		}
+	}
+}
+
+func TestForWorkersSerial(t *testing.T) {
+	// With 1 worker the body must run inline over the full range.
+	var calls int
+	ForWorkers(1, 10, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 10 {
+			t.Errorf("range [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Errorf("calls = %d", calls)
+	}
+}
+
+func TestForWorkersCapped(t *testing.T) {
+	var chunks int64
+	ForWorkers(3, 100, func(lo, hi int) {
+		atomic.AddInt64(&chunks, 1)
+	})
+	if chunks > 3 {
+		t.Errorf("chunks = %d, want ≤ 3", chunks)
+	}
+}
+
+func TestForWorkersIndexedDistinctWorkers(t *testing.T) {
+	// Explicit multi-worker invocation (GOMAXPROCS may be 1, so the
+	// parallel branches need explicit worker counts to be exercised).
+	seen := make([]int32, 4)
+	ForWorkersIndexed(4, 400, func(worker, lo, hi int) {
+		if worker < 0 || worker >= 4 {
+			t.Errorf("worker index %d out of range", worker)
+		}
+		atomic.AddInt32(&seen[worker], int32(hi-lo))
+	})
+	var total int32
+	for _, s := range seen {
+		total += s
+	}
+	if total != 400 {
+		t.Errorf("covered %d of 400", total)
+	}
+}
+
+func TestForWorkersIndexedSerial(t *testing.T) {
+	calls := 0
+	ForWorkersIndexed(1, 10, func(worker, lo, hi int) {
+		calls++
+		if worker != 0 || lo != 0 || hi != 10 {
+			t.Errorf("serial call = (%d, %d, %d)", worker, lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Errorf("calls = %d", calls)
+	}
+}
+
+func TestForWorkersIndexedEmpty(t *testing.T) {
+	ForWorkersIndexed(4, 0, func(int, int, int) { t.Error("body called for empty range") })
+}
+
+func TestForWorkersMoreWorkersThanItems(t *testing.T) {
+	var visited int64
+	ForWorkers(16, 3, func(lo, hi int) { atomic.AddInt64(&visited, int64(hi-lo)) })
+	if visited != 3 {
+		t.Errorf("visited %d of 3", visited)
+	}
+}

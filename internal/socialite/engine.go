@@ -1,0 +1,599 @@
+package socialite
+
+import (
+	"fmt"
+	"time"
+
+	"graphmaze/internal/cluster"
+	"graphmaze/internal/core"
+	"graphmaze/internal/graph"
+)
+
+// Engine is the SociaLite-model engine. The network-optimized variant uses
+// multiple sockets per node pair and batches head-update transfers — the
+// §6.1.3 improvements this paper contributed to SociaLite (Table 7); the
+// unoptimized variant models the published system before those changes.
+type Engine struct {
+	netOptimized bool
+}
+
+var _ core.Engine = (*Engine)(nil)
+
+// New returns the network-optimized SociaLite engine (the configuration
+// the paper's results use).
+func New() *Engine { return &Engine{netOptimized: true} }
+
+// NewUnoptimized returns the pre-optimization engine: single socket pairs
+// and per-tuple head-update messages (Table 7's "before" column).
+func NewUnoptimized() *Engine { return &Engine{netOptimized: false} }
+
+// Name implements core.Engine.
+func (e *Engine) Name() string { return "SociaLite" }
+
+// Capabilities implements core.Engine.
+func (e *Engine) Capabilities() core.Capabilities {
+	return core.Capabilities{MultiNode: true, SGD: false, ProgrammingModel: "datalog"}
+}
+
+func (e *Engine) newCluster(cfg cluster.Config) (*cluster.Cluster, error) {
+	if cfg.Comm.Bandwidth == 0 {
+		if e.netOptimized {
+			cfg.Comm = cluster.MultiSocket()
+		} else {
+			cfg.Comm = cluster.SingleSocket()
+		}
+	}
+	return cluster.New(cfg)
+}
+
+// accountTraffic charges one node's head-update (or table-transfer)
+// traffic. The optimized engine merges communication data for batch
+// processing — roughly one message per destination shard (§6.1.3); the
+// unoptimized engine flushes small socket buffers, paying per-4KB message
+// overheads on its single socket pair.
+func (e *Engine) accountTraffic(c *cluster.Cluster, node int, bytes int64, destinations int) {
+	if bytes <= 0 {
+		return
+	}
+	msgs := int64(destinations)
+	if e.netOptimized {
+		// Batches still flush at 64 KB.
+		if chunks := bytes/(64<<10) + 1; chunks > msgs {
+			msgs = chunks
+		}
+	} else if chunks := bytes/4096 + 1; chunks > msgs {
+		msgs = chunks
+	}
+	if msgs < 1 {
+		msgs = 1
+	}
+	c.Account(node, bytes, msgs)
+}
+
+func statsFrom(c *cluster.Cluster, iterations int) core.RunStats {
+	rep := c.Report()
+	return core.RunStats{WallSeconds: rep.SimulatedSeconds, Simulated: true, Iterations: iterations, Report: rep}
+}
+
+// PageRank implements core.Engine with the paper's distributed-optimized
+// rule pair (§3.1): a seed rule and a join over RANK, OUTEDGE and OUTDEG
+// with $SUM in the head.
+func (e *Engine) PageRank(g *graph.CSR, opt core.PageRankOptions) (*core.PageRankResult, error) {
+	opt, err := core.CheckPageRankInput(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumVertices
+	outEdge := NewEdgeTable("OUTEDGE", g)
+	outDeg := NewVecTable("OUTDEG", n)
+	for v := uint32(0); v < n; v++ {
+		outDeg.Put(v, Scalar(float64(g.Degree(v))))
+	}
+	rank := NewVecTable("RANK", n)
+	for v := uint32(0); v < n; v++ {
+		rank.Put(v, Scalar(1))
+	}
+
+	// The paper's distributed-optimized rule (§3.1), compiled from source.
+	// The assignment is written before the edge atom — SociaLite's planner
+	// hoists source-only expressions above the edge enumeration.
+	reg := NewRegistry()
+	reg.Register(outEdge)
+	reg.Register(outDeg)
+	reg.Register(rank)
+	reg.Register(NewVecTable("RANK2", n))
+	rule, err := Parse(fmt.Sprintf(
+		"RANK2[n]($SUM(v)) :- RANK[s](v0), OUTDEG[s](d), v = (1-%g)*v0/d, OUTEDGE[s](n).",
+		opt.RandomJump), reg)
+	if err != nil {
+		return nil, err
+	}
+
+	runIteration := func(eval func(rule *Rule, seed func(lo, hi uint32))) error {
+		rank2 := NewVecTable("RANK2", n)
+		// Rebind the compiled rule to this iteration's input/output tables.
+		rule.Driver.Vec.Table = rank
+		rule.Head.Table = rank2
+		eval(rule, func(lo, hi uint32) {
+			// Seed rule: RANK2[n](r).
+			for v := lo; v < hi; v++ {
+				rank2.Put(v, Scalar(opt.RandomJump))
+			}
+		})
+		rank = rank2
+		return nil
+	}
+
+	if opt.Exec.Cluster == nil {
+		start := time.Now()
+		for it := 0; it < opt.Iterations; it++ {
+			err := runIteration(func(rule *Rule, seed func(lo, hi uint32)) {
+				seed(0, n)
+				_, _ = EvalParallel(rule, 0, n, nil, nil, 0, false)
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &core.PageRankResult{Ranks: vecToFloats(rank, n),
+			Stats: core.RunStats{WallSeconds: time.Since(start).Seconds(), Iterations: opt.Iterations}}, nil
+	}
+
+	c, err := e.newCluster(*opt.Exec.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	part, err := graph.NewPartition1D(g, c.Nodes())
+	if err != nil {
+		return nil, err
+	}
+	for node := 0; node < c.Nodes(); node++ {
+		lo, hi := part.Range(node)
+		edges := g.Offsets[hi] - g.Offsets[lo]
+		c.SetBaselineMemory(node, edges*8+int64(hi-lo)*40)
+	}
+	for it := 0; it < opt.Iterations; it++ {
+		err := runIteration(func(rule *Rule, seed func(lo, hi uint32)) {
+			// Seed every shard before any node folds sums across shard
+			// boundaries (the seed rule is a purely local assignment).
+			seed(0, n)
+			_ = c.RunPhase(func(node int) error {
+				lo, hi := part.Range(node)
+				stats, err := EvalParallel(rule, lo, hi, nil, part.Owner, node, false)
+				if err != nil {
+					return err
+				}
+				e.accountTraffic(c, node, stats.RemoteBytes, c.Nodes()-1)
+				return nil
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &core.PageRankResult{Ranks: vecToFloats(rank, n), Stats: statsFrom(c, opt.Iterations)}, nil
+}
+
+func vecToFloats(t *VecTable, n uint32) []float64 {
+	out := make([]float64, n)
+	t.ForEach(func(k uint32, v Value) { out[k] = v.S() })
+	return out
+}
+
+// BFS implements core.Engine with the paper's recursive rule
+//
+//	BFS(t, $MIN(d)) :- BFS(s, d0), EDGE(s, t), d = d0+1.
+//
+// evaluated semi-naively: each round only the delta (newly improved keys)
+// drives the join (§3.1 of the companion papers [30,31]).
+func (e *Engine) BFS(g *graph.CSR, opt core.BFSOptions) (*core.BFSResult, error) {
+	opt, err := core.CheckBFSInput(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumVertices
+	edge := NewEdgeTable("EDGE", g)
+	dist := NewVecTable("BFS", n)
+	dist.Put(opt.Source, Scalar(0))
+
+	// The paper's recursive rule, compiled from source (assignment hoisted
+	// above the edge atom by the planner).
+	reg := NewRegistry()
+	reg.Register(edge)
+	reg.Register(dist)
+	rule, err := Parse("BFS(t, $MIN(d)) :- BFS(s, d0), d = d0 + 1, EDGE(s, t).", reg)
+	if err != nil {
+		return nil, err
+	}
+
+	finish := func(stats core.RunStats) *core.BFSResult {
+		out := make([]int32, n)
+		for i := range out {
+			out[i] = -1
+		}
+		dist.ForEach(func(k uint32, v Value) { out[k] = int32(v.S()) })
+		return &core.BFSResult{Distances: out, Stats: stats}
+	}
+
+	delta := []uint32{opt.Source}
+	rounds := 0
+	if opt.Exec.Cluster == nil {
+		start := time.Now()
+		for len(delta) > 0 {
+			rounds++
+			stats, err := EvalParallel(rule, 0, n, delta, nil, 0, true)
+			if err != nil {
+				return nil, err
+			}
+			delta = stats.Changed
+		}
+		return finish(core.RunStats{WallSeconds: time.Since(start).Seconds(), Iterations: rounds}), nil
+	}
+
+	c, err := e.newCluster(*opt.Exec.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	part, err := graph.NewPartition1D(g, c.Nodes())
+	if err != nil {
+		return nil, err
+	}
+	for node := 0; node < c.Nodes(); node++ {
+		lo, hi := part.Range(node)
+		edges := g.Offsets[hi] - g.Offsets[lo]
+		c.SetBaselineMemory(node, edges*8+int64(hi-lo)*24)
+	}
+	for len(delta) > 0 {
+		rounds++
+		var next []uint32
+		err := c.RunPhase(func(node int) error {
+			lo, hi := part.Range(node)
+			stats, err := EvalParallel(rule, lo, hi, delta, part.Owner, node, true)
+			if err != nil {
+				return err
+			}
+			e.accountTraffic(c, node, stats.RemoteBytes, c.Nodes()-1)
+			next = append(next, stats.Changed...)
+			c.Account(node, 1, 1) // fixpoint check
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Deduplicate: a key may have been improved by several nodes.
+		delta = dedup(next)
+	}
+	return finish(statsFrom(c, rounds)), nil
+}
+
+func dedup(keys []uint32) []uint32 {
+	seen := make(map[uint32]bool, len(keys))
+	w := 0
+	for _, k := range keys {
+		if !seen[k] {
+			seen[k] = true
+			keys[w] = k
+			w++
+		}
+	}
+	return keys[:w]
+}
+
+// TriangleCount implements core.Engine with the paper's three-way join
+//
+//	TRIANGLE(0, $INC(1)) :- EDGE(x,y), EDGE(y,z), EDGE(x,z).
+func (e *Engine) TriangleCount(g *graph.CSR, opt core.TriangleOptions) (*core.TriangleResult, error) {
+	opt, err := core.CheckTriangleInput(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	edge := NewEdgeTable("EDGE", g)
+	tri := NewVecTable("TRIANGLE", 1)
+	// The paper's three-way join, verbatim (§3.2).
+	reg := NewRegistry()
+	reg.Register(edge)
+	reg.Register(tri)
+	rule, err := Parse("TRIANGLE(0, $INC(1)) :- EDGE(x,y), EDGE(y,z), EDGE(x,z).", reg)
+	if err != nil {
+		return nil, err
+	}
+
+	if opt.Exec.Cluster == nil {
+		start := time.Now()
+		if _, err := EvalParallel(rule, 0, g.NumVertices, nil, nil, 0, false); err != nil {
+			return nil, err
+		}
+		count := int64(0)
+		if v, ok := tri.Get(0); ok {
+			count = int64(v.S())
+		}
+		return &core.TriangleResult{Count: count,
+			Stats: core.RunStats{WallSeconds: time.Since(start).Seconds(), Iterations: 1}}, nil
+	}
+
+	c, err := e.newCluster(*opt.Exec.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	part, err := graph.NewPartition1D(g, c.Nodes())
+	if err != nil {
+		return nil, err
+	}
+	for node := 0; node < c.Nodes(); node++ {
+		lo, hi := part.Range(node)
+		edges := g.Offsets[hi] - g.Offsets[lo]
+		c.SetBaselineMemory(node, edges*8+int64(hi-lo)*16)
+	}
+	err = c.RunPhase(func(node int) error {
+		lo, hi := part.Range(node)
+		// Counts aggregate into node-local partials; only the partial sum
+		// crosses the network. The body join, however, ships tuples to the
+		// shards holding EDGE[y] and EDGE[x]: charge 8 bytes per
+		// cross-shard hop, batched per destination.
+		var joinBytes int64
+		if _, err := EvalParallel(rule, lo, hi, nil, part.Owner, node, false); err != nil {
+			return err
+		}
+		for x := lo; x < hi; x++ {
+			for _, y := range g.Neighbors(x) {
+				if part.Owner(y) != node {
+					// (x,y) ships to owner(y) for the EDGE(y,z) join, and
+					// each candidate (x,z) may hop again for the check.
+					joinBytes += 8 + int64(len(g.Neighbors(y)))*8
+				}
+			}
+		}
+		e.accountTraffic(c, node, joinBytes, c.Nodes()-1)
+		c.Account(node, 8, 1) // count reduction
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	count := int64(0)
+	if v, ok := tri.Get(0); ok {
+		count = int64(v.S())
+	}
+	return &core.TriangleResult{Count: count, Stats: statsFrom(c, 1)}, nil
+}
+
+// CollabFilter implements core.Engine: the user and item factor vectors
+// live in tables keyed by vertex; gradient rules join the rating table
+// with both factor tables and $SUM per key; apply rules assign the new
+// factors. Factor tables transfer to target machines at the start of each
+// iteration so the joins run locally (paper §3.2). SGD is inexpressible.
+func (e *Engine) CollabFilter(r *graph.Bipartite, opt core.CFOptions) (*core.CFResult, error) {
+	opt, err := core.CheckCFInput(r, opt)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Method == core.SGD {
+		return nil, core.ErrUnsupported
+	}
+	k := opt.K
+	userInit := core.InitFactors(r.NumUsers, k, opt.Seed)
+	itemInit := core.InitFactors(r.NumItems, k, opt.Seed+1)
+	p := NewVecTable("P", r.NumUsers)
+	q := NewVecTable("Q", r.NumItems)
+	for u := uint32(0); u < r.NumUsers; u++ {
+		p.Put(u, toValue(userInit[int(u)*k:int(u+1)*k]))
+	}
+	for v := uint32(0); v < r.NumItems; v++ {
+		q.Put(v, toValue(itemInit[int(v)*k:int(v+1)*k]))
+	}
+	rating := NewEdgeTable("RATING", r.ByUser)
+	ratingT := NewEdgeTable("RATINGT", r.ByItem)
+
+	gradExpr := func(lambda float64) func(env *Env) Value {
+		return func(env *Env) Value {
+			self, other, rw := env.Vals[1], env.Vals[2], env.Vals[0].S()
+			dot := 0.0
+			for i := range self {
+				dot += self[i] * other[i]
+			}
+			out := make(Value, len(self))
+			for i := range out {
+				out[i] = (rw-dot)*other[i] - lambda*self[i]
+			}
+			return out
+		}
+	}
+	makeGradRule := func(name string, drv *EdgeTable, selfT, otherT, gradT *VecTable, lambda float64) *Rule {
+		return &Rule{
+			Name: name, KeySlots: 2, ValSlots: 4,
+			Driver: Driver{Edge: &EdgeAtom{Table: drv, SrcSlot: 0, DstSlot: 1, WeightSlot: 0}},
+			Atoms: []Atom{
+				{Vec: &VecAtom{Table: selfT, KeySlot: 0, ValSlot: 1}},
+				{Vec: &VecAtom{Table: otherT, KeySlot: 1, ValSlot: 2}},
+			},
+			Lets: []Let{{OutSlot: 3, F: gradExpr(lambda)}},
+			Head: Head{Table: gradT, Agg: AggSum, KeySlot: 0, ValSlot: 3},
+		}
+	}
+	makeApplyRule := func(name string, factorT, gradT, outT *VecTable, gamma float64) *Rule {
+		return &Rule{
+			Name: name, KeySlots: 1, ValSlots: 3,
+			Driver: Driver{Vec: &VecAtom{Table: factorT, KeySlot: 0, ValSlot: 0}},
+			Atoms:  []Atom{{Vec: &VecAtom{Table: gradT, KeySlot: 0, ValSlot: 1}}},
+			Lets: []Let{{OutSlot: 2, F: func(env *Env) Value {
+				f, gr := env.Vals[0], env.Vals[1]
+				out := make(Value, len(f))
+				for i := range out {
+					out[i] = f[i] + gamma*gr[i]
+				}
+				return out
+			}}},
+			Head: Head{Table: outT, Agg: AggAssign, KeySlot: 0, ValSlot: 2},
+		}
+	}
+
+	var c *cluster.Cluster
+	var userPart, itemPart *graph.Partition1D
+	if opt.Exec.Cluster != nil {
+		c, err = e.newCluster(*opt.Exec.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		userPart, err = graph.NewPartition1D(r.ByUser, c.Nodes())
+		if err != nil {
+			return nil, err
+		}
+		itemPart, err = graph.NewPartition1D(r.ByItem, c.Nodes())
+		if err != nil {
+			return nil, err
+		}
+		for node := 0; node < c.Nodes(); node++ {
+			ulo, uhi := userPart.Range(node)
+			ratings := r.ByUser.Offsets[uhi] - r.ByUser.Offsets[ulo]
+			c.SetBaselineMemory(node, ratings*12+int64(uhi-ulo)*int64(k)*8+int64(r.NumItems)*int64(k)*8/int64(c.Nodes()))
+		}
+	}
+
+	gamma := opt.LearningRate
+	rmse := make([]float64, 0, opt.Iterations)
+	start := time.Now()
+
+	evalRules := func(gradPRule, gradQRule, applyP, applyQ *Rule) error {
+		for _, rule := range []*Rule{gradPRule, gradQRule, applyP, applyQ} {
+			if err := rule.Validate(); err != nil {
+				return err
+			}
+		}
+		if c == nil {
+			if _, err := EvalParallel(gradPRule, 0, r.NumUsers, nil, nil, 0, false); err != nil {
+				return err
+			}
+			if _, err := EvalParallel(gradQRule, 0, r.NumItems, nil, nil, 0, false); err != nil {
+				return err
+			}
+			if _, err := EvalParallel(applyP, 0, r.NumUsers, nil, nil, 0, false); err != nil {
+				return err
+			}
+			_, err := EvalParallel(applyQ, 0, r.NumItems, nil, nil, 0, false)
+			return err
+		}
+		// Iteration-start table transfer (paper §3.2): each node pulls the
+		// Q rows its users rated and the P rows its items were rated by.
+		if err := c.RunPhase(func(node int) error {
+			ulo, uhi := userPart.Range(node)
+			items := make(map[uint32]bool)
+			for u := ulo; u < uhi; u++ {
+				for _, v := range r.ByUser.Neighbors(u) {
+					if itemPart.Owner(v) != node {
+						items[v] = true
+					}
+				}
+			}
+			ilo, ihi := itemPart.Range(node)
+			users := make(map[uint32]bool)
+			for v := ilo; v < ihi; v++ {
+				for _, u := range r.ByItem.Neighbors(v) {
+					if userPart.Owner(u) != node {
+						users[u] = true
+					}
+				}
+			}
+			bytes := int64(len(items)+len(users)) * int64(4+8*k)
+			e.accountTraffic(c, node, bytes, 2*(c.Nodes()-1))
+			return nil
+		}); err != nil {
+			return err
+		}
+		// Gradients and applies run shard-local after the transfer.
+		if err := c.RunPhase(func(node int) error {
+			ulo, uhi := userPart.Range(node)
+			if _, err := EvalParallel(gradPRule, ulo, uhi, nil, nil, 0, false); err != nil {
+				return err
+			}
+			ilo, ihi := itemPart.Range(node)
+			_, err := EvalParallel(gradQRule, ilo, ihi, nil, nil, 0, false)
+			return err
+		}); err != nil {
+			return err
+		}
+		return c.RunPhase(func(node int) error {
+			ulo, uhi := userPart.Range(node)
+			if _, err := EvalParallel(applyP, ulo, uhi, nil, nil, 0, false); err != nil {
+				return err
+			}
+			ilo, ihi := itemPart.Range(node)
+			_, err := EvalParallel(applyQ, ilo, ihi, nil, nil, 0, false)
+			return err
+		})
+	}
+
+	for it := 0; it < opt.Iterations; it++ {
+		gradP := NewVecTable("GRADP", r.NumUsers)
+		gradQ := NewVecTable("GRADQ", r.NumItems)
+		p2 := NewVecTable("P2", r.NumUsers)
+		q2 := NewVecTable("Q2", r.NumItems)
+		gp := makeGradRule("gradP", rating, p, q, gradP, opt.LambdaP)
+		gq := makeGradRule("gradQ", ratingT, q, p, gradQ, opt.LambdaQ)
+		ap := makeApplyRule("applyP", p, gradP, p2, gamma)
+		aq := makeApplyRule("applyQ", q, gradQ, q2, gamma)
+		if err := evalRules(gp, gq, ap, aq); err != nil {
+			return nil, err
+		}
+		// Users or items with no gradient rows keep their factors.
+		p.ForEach(func(key uint32, val Value) {
+			if _, ok := p2.Get(key); !ok {
+				p2.Put(key, val)
+			}
+		})
+		q.ForEach(func(key uint32, val Value) {
+			if _, ok := q2.Get(key); !ok {
+				q2.Put(key, val)
+			}
+		})
+		p, q = p2, q2
+		gamma *= opt.StepDecay
+		if !opt.SkipRMSETrajectory {
+			rmse = append(rmse, rmseOf(r, k, p, q))
+		}
+	}
+	if opt.SkipRMSETrajectory {
+		rmse = append(rmse, rmseOf(r, k, p, q))
+	}
+
+	userOut := make([]float32, int(r.NumUsers)*k)
+	itemOut := make([]float32, int(r.NumItems)*k)
+	p.ForEach(func(key uint32, val Value) {
+		for d := 0; d < k; d++ {
+			userOut[int(key)*k+d] = float32(val[d])
+		}
+	})
+	q.ForEach(func(key uint32, val Value) {
+		for d := 0; d < k; d++ {
+			itemOut[int(key)*k+d] = float32(val[d])
+		}
+	})
+	stats := core.RunStats{WallSeconds: time.Since(start).Seconds(), Iterations: opt.Iterations}
+	if c != nil {
+		stats = statsFrom(c, opt.Iterations)
+	}
+	return &core.CFResult{K: k, UserFactors: userOut, ItemFactors: itemOut, RMSE: rmse, Stats: stats}, nil
+}
+
+func toValue(f []float32) Value {
+	out := make(Value, len(f))
+	for i, x := range f {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+func rmseOf(r *graph.Bipartite, k int, p, q *VecTable) float64 {
+	userF := make([]float32, int(r.NumUsers)*k)
+	itemF := make([]float32, int(r.NumItems)*k)
+	p.ForEach(func(key uint32, val Value) {
+		for d := 0; d < k; d++ {
+			userF[int(key)*k+d] = float32(val[d])
+		}
+	})
+	q.ForEach(func(key uint32, val Value) {
+		for d := 0; d < k; d++ {
+			itemF[int(key)*k+d] = float32(val[d])
+		}
+	})
+	return core.RMSE(r, k, userF, itemF)
+}

@@ -1,0 +1,293 @@
+package socialite
+
+import (
+	"runtime"
+
+	"graphmaze/internal/par"
+)
+
+// This file implements SociaLite's intra-node parallel evaluation: tables
+// are sharded, worker threads evaluate the rule over driver shards and
+// route head updates to the shard that owns the key, and a second phase
+// folds each shard's updates without locks (the paper: "SociaLite tables
+// are horizontally partitioned, or sharded, to support parallelism").
+
+// EvalStats summarizes one parallel evaluation for the distributed
+// engine's traffic accounting.
+type EvalStats struct {
+	// Changed lists keys whose stored value changed (tracked only when
+	// requested — drives semi-naive recursion).
+	Changed []uint32
+	// RemoteBytes and RemoteTuples count head updates whose key is owned
+	// by a different cluster node than selfNode.
+	RemoteBytes  int64
+	RemoteTuples int64
+}
+
+type kv struct {
+	key    uint32
+	scalar float64
+	vec    Value // nil for scalar emissions (stored inline, no alloc)
+}
+
+// EvalParallel evaluates the rule for driver keys/sources in [lo,hi)
+// (restricted to delta when non-nil, for vec drivers) using sharded
+// parallel evaluation, folding into the head table.
+//
+// owner, when non-nil, maps keys to cluster nodes; emissions owned by
+// nodes other than selfNode are tallied in the returned stats (the data
+// still folds — tables are shared in the simulation; the tally drives the
+// modeled network).
+func EvalParallel(rule *Rule, lo, hi uint32, delta []uint32, owner func(uint32) int, selfNode int, trackChanged bool) (EvalStats, error) {
+	var stats EvalStats
+	headKeys := rule.Head.Table.NumKeys()
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Global aggregates (single-key tables, e.g. TRIANGLE) fold into
+	// per-worker partials merged at the end.
+	global := headKeys == 1
+
+	// Driver shard bounds.
+	span := hi - lo
+	if span == 0 {
+		return stats, nil
+	}
+	if uint32(workers) > span {
+		workers = int(span)
+	}
+	shardOf := func(key uint32) int {
+		s := int(uint64(key) * uint64(workers) / uint64(headKeys))
+		if s >= workers {
+			s = workers - 1
+		}
+		return s
+	}
+
+	// Compiled fast path: SociaLite compiles rules to tight loops; the
+	// common scalar shape (vec driver, key-local vec/let atoms, one edge
+	// atom, scalar head) avoids the generic recursive evaluator entirely.
+	if workers == 1 || global {
+		// With a single worker (or a global aggregate) no routing is
+		// needed: fold directly.
+		st, err := evalDirect(rule, lo, hi, delta, owner, selfNode, trackChanged)
+		return st, err
+	}
+
+	routed := make([][][]kv, workers) // [producer][consumerShard]
+	globals := make([]float64, workers)
+	var firstErr error
+	par.ForWorkersIndexed(workers, workers, func(_, wlo, whi int) {
+		for w := wlo; w < whi; w++ {
+			buf := make([][]kv, workers)
+			dlo := lo + uint32(uint64(span)*uint64(w)/uint64(workers))
+			dhi := lo + uint32(uint64(span)*uint64(w+1)/uint64(workers))
+			sink := func(key uint32, val Value) {
+				if global {
+					globals[w] += val.S()
+					return
+				}
+				s := shardOf(key)
+				if len(val) == 1 {
+					buf[s] = append(buf[s], kv{key: key, scalar: val[0]})
+				} else {
+					buf[s] = append(buf[s], kv{key: key, vec: val})
+				}
+			}
+			var err error
+			if rule.Driver.Vec != nil {
+				err = rule.EvalVecDriver(dlo, dhi, delta, sink)
+			} else {
+				err = rule.EvalEdgeDriver(dlo, dhi, sink)
+			}
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			routed[w] = buf
+		}
+	})
+	if firstErr != nil {
+		return stats, firstErr
+	}
+
+	if global {
+		var total float64
+		var tuples int64
+		for _, g := range globals {
+			total += g
+			tuples += int64(g)
+		}
+		if total != 0 {
+			rule.Head.Table.fold(rule.Head.Agg, 0, Scalar(total))
+		}
+		if owner != nil && owner(0) != selfNode && total != 0 {
+			// Only the folded partial crosses the network.
+			stats.RemoteBytes += 12
+			stats.RemoteTuples++
+		}
+		return stats, nil
+	}
+
+	// Phase 2: shard owners fold their updates; no two workers touch the
+	// same key.
+	changedPer := make([][]uint32, workers)
+	remoteBytes := make([]int64, workers)
+	remoteTuples := make([]int64, workers)
+	par.ForWorkersIndexed(workers, workers, func(_, wlo, whi int) {
+		for s := wlo; s < whi; s++ {
+			for p := 0; p < workers; p++ {
+				for _, u := range routed[p][s] {
+					var changed bool
+					width := 1
+					if u.vec == nil {
+						changed = rule.Head.Table.foldScalar(rule.Head.Agg, u.key, u.scalar)
+					} else {
+						changed = rule.Head.Table.fold(rule.Head.Agg, u.key, u.vec)
+						width = len(u.vec)
+					}
+					if trackChanged && changed {
+						changedPer[s] = append(changedPer[s], u.key)
+					}
+					if owner != nil && owner(u.key) != selfNode {
+						remoteBytes[s] += int64(4 + 8*width)
+						remoteTuples[s]++
+					}
+				}
+			}
+		}
+	})
+	for s := 0; s < workers; s++ {
+		stats.Changed = append(stats.Changed, changedPer[s]...)
+		stats.RemoteBytes += remoteBytes[s]
+		stats.RemoteTuples += remoteTuples[s]
+	}
+	stats.Changed = dedup(stats.Changed)
+	return stats, nil
+}
+
+// evalDirect evaluates without routing buffers, folding each emission
+// immediately — the single-worker (and global-aggregate) path.
+func evalDirect(rule *Rule, lo, hi uint32, delta []uint32, owner func(uint32) int, selfNode int, trackChanged bool) (EvalStats, error) {
+	var stats EvalStats
+	if compiled, ok := compileScalarRule(rule); ok {
+		return compiled(lo, hi, delta, owner, selfNode, trackChanged)
+	}
+	sink := func(key uint32, val Value) {
+		var changed bool
+		width := len(val)
+		if width == 1 {
+			changed = rule.Head.Table.foldScalar(rule.Head.Agg, key, val[0])
+		} else {
+			changed = rule.Head.Table.fold(rule.Head.Agg, key, val)
+		}
+		if trackChanged && changed {
+			stats.Changed = append(stats.Changed, key)
+		}
+		if owner != nil && owner(key) != selfNode {
+			stats.RemoteBytes += int64(4 + 8*width)
+			stats.RemoteTuples++
+		}
+	}
+	var err error
+	if rule.Driver.Vec != nil {
+		err = rule.EvalVecDriver(lo, hi, delta, sink)
+	} else {
+		err = rule.EvalEdgeDriver(lo, hi, sink)
+	}
+	stats.Changed = dedup(stats.Changed)
+	return stats, err
+}
+
+// compileScalarRule recognizes the hot rule shape — vec driver, key-local
+// vec/let atoms, one trailing unweighted edge atom, scalar head keyed by
+// the edge destination — and returns a specialized loop for it. This is
+// the moral equivalent of SociaLite's rule-to-Java compilation: the
+// loop-invariant prefix evaluates once per source, the inner loop is a
+// plain scan over the adjacency list.
+func compileScalarRule(rule *Rule) (func(lo, hi uint32, delta []uint32, owner func(uint32) int, selfNode int, trackChanged bool) (EvalStats, error), bool) {
+	d := rule.Driver.Vec
+	if d == nil || len(rule.Lets) != 0 || rule.Head.ValSlot < 0 {
+		return nil, false
+	}
+	n := len(rule.Atoms)
+	if n == 0 {
+		return nil, false
+	}
+	last := rule.Atoms[n-1].Edge
+	if last == nil || last.DstBound || last.WeightSlot >= 0 ||
+		last.SrcSlot != d.KeySlot || rule.Head.KeySlot != last.DstSlot {
+		return nil, false
+	}
+	prefix := rule.Atoms[:n-1]
+	for _, a := range prefix {
+		switch {
+		case a.Vec != nil:
+			if a.Vec.KeySlot != d.KeySlot {
+				return nil, false
+			}
+		case a.Let != nil:
+			if a.Let.FScalar == nil {
+				return nil, false
+			}
+		default:
+			return nil, false
+		}
+	}
+	table := rule.Head.Table
+	agg := rule.Head.Agg
+	valSlot := rule.Head.ValSlot
+	edge := last.Table
+
+	return func(lo, hi uint32, delta []uint32, owner func(uint32) int, selfNode int, trackChanged bool) (EvalStats, error) {
+		var stats EvalStats
+		env := &Env{Keys: make([]uint32, rule.KeySlots), Vals: make([]Value, rule.ValSlots)}
+		visit := func(src uint32) {
+			v0, ok := d.Table.Get(src)
+			if !ok {
+				return
+			}
+			env.Keys[d.KeySlot] = src
+			if d.ValSlot >= 0 {
+				env.Vals[d.ValSlot] = v0
+			}
+			for _, a := range prefix {
+				if a.Vec != nil {
+					v, ok := a.Vec.Table.Get(src)
+					if !ok {
+						return
+					}
+					if a.Vec.ValSlot >= 0 {
+						env.Vals[a.Vec.ValSlot] = v
+					}
+					continue
+				}
+				env.setScalar(a.Let.OutSlot, a.Let.FScalar(env))
+			}
+			val := env.Vals[valSlot][0]
+			for _, dst := range edge.Neighbors(src) {
+				if table.foldScalar(agg, dst, val) && trackChanged {
+					stats.Changed = append(stats.Changed, dst)
+				}
+				if owner != nil && owner(dst) != selfNode {
+					stats.RemoteBytes += 12
+					stats.RemoteTuples++
+				}
+			}
+		}
+		if delta != nil {
+			for _, key := range delta {
+				if key >= lo && key < hi {
+					visit(key)
+				}
+			}
+		} else {
+			for key := lo; key < hi; key++ {
+				visit(key)
+			}
+		}
+		stats.Changed = dedup(stats.Changed)
+		return stats, nil
+	}, true
+}

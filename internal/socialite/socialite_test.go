@@ -1,0 +1,319 @@
+package socialite
+
+import (
+	"errors"
+	"testing"
+
+	"graphmaze/internal/cluster"
+	"graphmaze/internal/core"
+	"graphmaze/internal/gen"
+	"graphmaze/internal/graph"
+)
+
+func fixtureDirected(t testing.TB) *graph.CSR {
+	t.Helper()
+	edges, err := gen.RMAT(gen.Graph500Config(8, 8, 51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := graph.NewBuilder(1 << 8)
+	b.AddEdges(edges)
+	g, err := b.Build(graph.BuildOptions{Dedup: true, DropSelfLoops: true, SortAdjacency: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func fixtureUndirected(t testing.TB) *graph.CSR {
+	t.Helper()
+	edges, err := gen.RMAT(gen.Graph500Config(8, 8, 52))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := graph.NewBuilder(1 << 8)
+	b.AddEdges(edges)
+	g, err := b.Build(graph.BuildOptions{Orientation: graph.Symmetrize, Dedup: true, DropSelfLoops: true, SortAdjacency: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func fixtureAcyclic(t testing.TB) *graph.CSR {
+	t.Helper()
+	edges, err := gen.RMAT(gen.TriangleConfig(8, 8, 53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := graph.NewBuilder(1 << 8)
+	b.AddEdges(edges)
+	g, err := b.Build(graph.BuildOptions{Orientation: graph.OrientAcyclic, Dedup: true, SortAdjacency: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func fixtureRatings(t testing.TB) *graph.Bipartite {
+	t.Helper()
+	bp, err := gen.Ratings(gen.DefaultRatingsConfig(8, 16, 54))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bp
+}
+
+func TestVecTableBasics(t *testing.T) {
+	tab := NewVecTable("T", 10)
+	if _, ok := tab.Get(3); ok {
+		t.Error("fresh table has key")
+	}
+	tab.Put(3, Scalar(1.5))
+	if v, ok := tab.Get(3); !ok || v.S() != 1.5 {
+		t.Errorf("Get = %v,%v", v, ok)
+	}
+	if tab.Len() != 1 {
+		t.Errorf("Len = %d", tab.Len())
+	}
+	tab.Delete(3)
+	if tab.Len() != 0 {
+		t.Errorf("Len after delete = %d", tab.Len())
+	}
+	tab.Delete(3) // idempotent
+}
+
+func TestFoldAggregations(t *testing.T) {
+	tab := NewVecTable("T", 4)
+	// SUM accumulates element-wise.
+	tab.fold(AggSum, 0, Value{1, 2})
+	tab.fold(AggSum, 0, Value{10, 20})
+	if v, _ := tab.Get(0); v[0] != 11 || v[1] != 22 {
+		t.Errorf("SUM = %v", v)
+	}
+	// MIN keeps the smaller and reports change.
+	if !tab.fold(AggMin, 1, Scalar(5)) {
+		t.Error("first MIN not a change")
+	}
+	if tab.fold(AggMin, 1, Scalar(9)) {
+		t.Error("larger MIN reported change")
+	}
+	if !tab.fold(AggMin, 1, Scalar(2)) {
+		t.Error("smaller MIN not a change")
+	}
+	// COUNT increments.
+	tab.fold(AggCount, 2, Scalar(1))
+	tab.fold(AggCount, 2, Scalar(1))
+	if v, _ := tab.Get(2); v.S() != 2 {
+		t.Errorf("COUNT = %v", v)
+	}
+	// ASSIGN overwrites.
+	tab.fold(AggAssign, 3, Scalar(7))
+	tab.fold(AggAssign, 3, Scalar(8))
+	if v, _ := tab.Get(3); v.S() != 8 {
+		t.Errorf("ASSIGN = %v", v)
+	}
+}
+
+func TestRuleValidation(t *testing.T) {
+	g, _ := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1}})
+	edge := NewEdgeTable("E", g)
+	head := NewVecTable("H", 3)
+	// Atom joins on an unbound key slot.
+	bad := &Rule{
+		Name: "bad", KeySlots: 3, ValSlots: 1,
+		Driver: Driver{Vec: &VecAtom{Table: head, KeySlot: 0, ValSlot: 0}},
+		Atoms:  []Atom{{Edge: &EdgeAtom{Table: edge, SrcSlot: 2, DstSlot: 1, WeightSlot: -1}}},
+		Head:   Head{Table: head, Agg: AggSum, KeySlot: 1, ValSlot: 0},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted unbound join key")
+	}
+	// No driver.
+	if err := (&Rule{Name: "x", Head: Head{Table: head}}).Validate(); err == nil {
+		t.Error("accepted missing driver")
+	}
+	// No head.
+	if err := (&Rule{Name: "x"}).Validate(); err == nil {
+		t.Error("accepted missing head")
+	}
+}
+
+func TestPageRankMatchesReference(t *testing.T) {
+	g := fixtureDirected(t)
+	opt := core.PageRankOptions{Iterations: 6}
+	want := core.RefPageRank(g, opt)
+	res, err := New().PageRank(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := core.ComparePageRank(want, res.Ranks); d > 1e-9 {
+		t.Errorf("max relative diff %v", d)
+	}
+}
+
+func TestPageRankCluster(t *testing.T) {
+	g := fixtureDirected(t)
+	want := core.RefPageRank(g, core.PageRankOptions{Iterations: 5})
+	res, err := New().PageRank(g, core.PageRankOptions{Iterations: 5,
+		Exec: core.Exec{Cluster: &cluster.Config{Nodes: 4}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := core.ComparePageRank(want, res.Ranks); d > 1e-9 {
+		t.Errorf("max relative diff %v", d)
+	}
+	if res.Stats.Report.BytesSent == 0 {
+		t.Error("no head-update traffic recorded")
+	}
+}
+
+func TestNetworkOptimizationSpeedsUpPageRank(t *testing.T) {
+	// Table 7: the multi-socket + batching optimization speeds up the
+	// network-bound algorithms (paper: 2.4× for PageRank on 4 nodes).
+	g := fixtureDirected(t)
+	opt := core.PageRankOptions{Iterations: 5, Exec: core.Exec{Cluster: &cluster.Config{Nodes: 4}}}
+	before, err := NewUnoptimized().PageRank(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := New().PageRank(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Stats.Report.NetworkSeconds >= before.Stats.Report.NetworkSeconds {
+		t.Errorf("optimized network time %v not below unoptimized %v",
+			after.Stats.Report.NetworkSeconds, before.Stats.Report.NetworkSeconds)
+	}
+}
+
+func TestBFSMatchesReference(t *testing.T) {
+	g := fixtureUndirected(t)
+	want := core.RefBFS(g, 11)
+	res, err := New().BFS(g, core.BFSOptions{Source: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.EqualDistances(want, res.Distances) {
+		t.Error("distances differ from reference")
+	}
+}
+
+func TestBFSCluster(t *testing.T) {
+	g := fixtureUndirected(t)
+	want := core.RefBFS(g, 11)
+	res, err := New().BFS(g, core.BFSOptions{Source: 11,
+		Exec: core.Exec{Cluster: &cluster.Config{Nodes: 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.EqualDistances(want, res.Distances) {
+		t.Error("cluster distances differ from reference")
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	b := graph.NewBuilder(5)
+	b.AddEdges([]graph.Edge{{Src: 0, Dst: 1}, {Src: 3, Dst: 4}})
+	g, _ := b.Build(graph.BuildOptions{Orientation: graph.Symmetrize, Dedup: true})
+	res, err := New().BFS(g, core.BFSOptions{Source: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{0, 1, -1, -1, -1}
+	if !core.EqualDistances(res.Distances, want) {
+		t.Errorf("distances = %v, want %v", res.Distances, want)
+	}
+}
+
+func TestTriangleCountMatchesReference(t *testing.T) {
+	g := fixtureAcyclic(t)
+	want := core.RefTriangleCount(g)
+	res, err := New().TriangleCount(g, core.TriangleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != want {
+		t.Errorf("count = %d, want %d", res.Count, want)
+	}
+}
+
+func TestTriangleCluster(t *testing.T) {
+	g := fixtureAcyclic(t)
+	want := core.RefTriangleCount(g)
+	res, err := New().TriangleCount(g, core.TriangleOptions{
+		Exec: core.Exec{Cluster: &cluster.Config{Nodes: 4}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != want {
+		t.Errorf("cluster count = %d, want %d", res.Count, want)
+	}
+	if res.Stats.Report.BytesSent == 0 {
+		t.Error("no join-shipping traffic recorded")
+	}
+}
+
+func TestCollabFilterGD(t *testing.T) {
+	bp := fixtureRatings(t)
+	opt := core.CFOptions{K: 4, Iterations: 4, Seed: 7}
+	res, err := New().CollabFilter(bp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.MonotonicallyNonIncreasing(res.RMSE, 1e-3) {
+		t.Errorf("RMSE not decreasing: %v", res.RMSE)
+	}
+	ref := core.RefCollabFilterGD(bp, opt)
+	for i := range ref.RMSE {
+		d := ref.RMSE[i] - res.RMSE[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > 1e-3 {
+			t.Errorf("iteration %d: RMSE %v vs reference %v", i, res.RMSE[i], ref.RMSE[i])
+		}
+	}
+}
+
+func TestCollabFilterRejectsSGD(t *testing.T) {
+	bp := fixtureRatings(t)
+	if _, err := New().CollabFilter(bp, core.CFOptions{Method: core.SGD}); !errors.Is(err, core.ErrUnsupported) {
+		t.Errorf("err = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestCollabFilterCluster(t *testing.T) {
+	bp := fixtureRatings(t)
+	res, err := New().CollabFilter(bp, core.CFOptions{K: 4, Iterations: 3, Seed: 7,
+		Exec: core.Exec{Cluster: &cluster.Config{Nodes: 4}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.MonotonicallyNonIncreasing(res.RMSE, 1e-3) {
+		t.Errorf("distributed RMSE not decreasing: %v", res.RMSE)
+	}
+	if res.Stats.Report.BytesSent == 0 {
+		t.Error("no table-transfer traffic recorded")
+	}
+}
+
+func TestEdgeTableContains(t *testing.T) {
+	g, _ := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 2}, {Src: 0, Dst: 1}})
+	g.SortAdjacency()
+	e := NewEdgeTable("E", g)
+	if !e.Contains(0, 1) || !e.Contains(0, 2) {
+		t.Error("Contains misses present edges")
+	}
+	if e.Contains(1, 0) || e.Contains(2, 2) {
+		t.Error("Contains finds absent edges")
+	}
+}
+
+func TestAggString(t *testing.T) {
+	for agg, want := range map[Agg]string{AggSum: "$SUM", AggMin: "$MIN", AggCount: "$INC", AggAssign: "assign"} {
+		if agg.String() != want {
+			t.Errorf("%d.String() = %q, want %q", agg, agg.String(), want)
+		}
+	}
+}
