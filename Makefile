@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race lint fmt all
+
+all: fmt lint build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the stress tests (and everything else) under the race detector;
+# -short scales the stress workloads down so the pass stays quick.
+race:
+	$(GO) test -race -short ./...
+
+# lint runs graphlint (the project-specific analyzer) and go vet.
+lint:
+	$(GO) run ./cmd/graphlint ./...
+	$(GO) vet ./...
+
+# fmt fails if any file needs gofmt, and prints the offenders.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

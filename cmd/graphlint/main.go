@@ -1,0 +1,130 @@
+// Command graphlint runs the project-specific static analyzer over the
+// module and reports invariant violations the generic Go toolchain cannot
+// catch: mixed atomic/plain access, unjoined engine goroutines, panics in
+// library code, unchecked 32-bit index truncation, and undocumented engine
+// API. It exits non-zero when any finding survives the //lint:ignore
+// directives, which makes it usable as a CI gate:
+//
+//	go run ./cmd/graphlint ./...
+//
+// Flags:
+//
+//	-json   emit findings as a JSON array instead of text
+//	-list   print the available rules and exit
+//	-rules  comma-separated subset of rules to run (default: all)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"graphmaze/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	list := flag.Bool("list", false, "list available rules and exit")
+	ruleFilter := flag.String("rules", "", "comma-separated subset of rules to run")
+	flag.Parse()
+
+	if *list {
+		for _, r := range lint.DefaultRules() {
+			fmt.Printf("%-10s %s\n", r.Name(), r.Doc())
+		}
+		return
+	}
+
+	rules := lint.DefaultRules()
+	if *ruleFilter != "" {
+		want := make(map[string]bool)
+		for _, name := range strings.Split(*ruleFilter, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var kept []lint.Rule
+		for _, r := range rules {
+			if want[r.Name()] {
+				kept = append(kept, r)
+				delete(want, r.Name())
+			}
+		}
+		for name := range want {
+			fmt.Fprintf(os.Stderr, "graphlint: unknown rule %q (use -list)\n", name)
+			os.Exit(2)
+		}
+		rules = kept
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	modDir, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := lint.Load(modDir)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs = filterPackages(pkgs, flag.Args())
+
+	findings := lint.Run(pkgs, rules)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "graphlint: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}
+
+// filterPackages narrows pkgs to the requested patterns: "./..." (or no
+// arguments) keeps everything, "./dir/..." keeps the subtree, and "./dir"
+// keeps the single package.
+func filterPackages(pkgs []*lint.Package, patterns []string) []*lint.Package {
+	if len(patterns) == 0 {
+		return pkgs
+	}
+	var out []*lint.Package
+	for _, p := range pkgs {
+		for _, pat := range patterns {
+			if matches(p.Rel, pat) {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func matches(rel, pattern string) bool {
+	pattern = strings.TrimPrefix(pattern, "./")
+	if pattern == "..." || pattern == "" {
+		return true
+	}
+	if prefix, ok := strings.CutSuffix(pattern, "/..."); ok {
+		return rel == prefix || strings.HasPrefix(rel, prefix+"/")
+	}
+	return rel == strings.TrimSuffix(pattern, "/")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "graphlint:", err)
+	os.Exit(2)
+}

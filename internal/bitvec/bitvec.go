@@ -10,6 +10,15 @@ import (
 	"sync/atomic"
 )
 
+// The vector deliberately exposes both plain (Set/Get/Clear/...) and atomic
+// (SetAtomic/GetAtomic) accessors over the same word array: the native BFS
+// kernels use the plain forms in serial phases and the atomic forms inside
+// parallel expansion, with the phase barrier providing the happens-before
+// edge. Callers own that discipline, so the whole file opts out of the
+// mixed-access check.
+//
+//lint:file-ignore atomic plain and atomic accessors are phase-separated by the caller's barrier
+
 // Vector is a fixed-capacity bitset over [0, Len()).
 type Vector struct {
 	words []uint64
@@ -81,6 +90,7 @@ func (v *Vector) Reset() {
 // capacity; Or panics otherwise, as mixing sizes is a programming error.
 func (v *Vector) Or(other *Vector) {
 	if v.n != other.n {
+		//lint:ignore panic mixing vector sizes is a programmer error, documented in the method contract
 		panic("bitvec: Or on vectors of different capacity")
 	}
 	for i := range v.words {
@@ -92,6 +102,7 @@ func (v *Vector) Or(other *Vector) {
 // materializing the intersection — the triangle-counting inner loop.
 func (v *Vector) AndCount(other *Vector) int {
 	if v.n != other.n {
+		//lint:ignore panic mixing vector sizes is a programmer error, documented in the method contract
 		panic("bitvec: AndCount on vectors of different capacity")
 	}
 	c := 0

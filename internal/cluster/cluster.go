@@ -13,6 +13,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"graphmaze/internal/metrics"
@@ -110,13 +111,15 @@ func (c Config) Validate() error {
 // function runs and may Send messages; messages are delivered at the start
 // of the next phase via Recv.
 //
-// A Cluster is not safe for concurrent RunPhase calls, but within a phase
-// each node may only touch its own mailboxes, so the per-node compute
-// functions need no locking.
+// A Cluster is not safe for concurrent RunPhase calls, but Send and
+// Account may be called concurrently within a phase: a node's compute
+// function is free to fan out across goroutines (as the Giraph runtime
+// does) and let each worker queue messages directly.
 type Cluster struct {
 	cfg       Config
 	collector *metrics.Collector
 
+	mu          sync.Mutex // guards outbox, extraBytes, extraMsgs during a phase
 	outbox      [][][]byte // [from][to] payloads queued this phase
 	inbox       [][][]byte // [node] payloads delivered from last phase
 	extraBytes  []int64    // accounted-only traffic per node this phase
@@ -161,20 +164,26 @@ func (c *Cluster) Config() Config { return c.cfg }
 
 // Send queues payload from node `from` to node `to`; it is delivered at
 // the next phase boundary. Self-sends are delivered but charged no network
-// time. The payload is retained, not copied.
+// time. The payload is retained, not copied. Send is safe for concurrent
+// use within a phase.
 func (c *Cluster) Send(from, to int, payload []byte) {
+	c.mu.Lock()
 	if existing := c.outbox[from][to]; existing != nil {
 		c.outbox[from][to] = append(existing, payload...)
-		return
+	} else {
+		c.outbox[from][to] = payload
 	}
-	c.outbox[from][to] = payload
+	c.mu.Unlock()
 }
 
 // Account charges traffic from node `from` without materializing a
 // payload — for engines that compute transfer volumes analytically.
+// Account is safe for concurrent use within a phase.
 func (c *Cluster) Account(from int, bytes, messages int64) {
+	c.mu.Lock()
 	c.extraBytes[from] += bytes
 	c.extraMsgs[from] += messages
+	c.mu.Unlock()
 }
 
 // Recv returns the payloads delivered to node at the last phase boundary,

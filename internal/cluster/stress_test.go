@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSendAccountStress exists to run under `go test -race`: it
+// exercises the documented contract that Send and Account are safe for
+// concurrent use within a phase. Every node's compute function fans out
+// across goroutines that all queue messages and analytic traffic at once;
+// the phase boundary then delivers, and the byte totals check that no
+// concurrent append was lost. testing.Short() scales the volume down
+// without skipping the scenario.
+func TestConcurrentSendAccountStress(t *testing.T) {
+	const nodes = 4
+	goroutines := 8
+	sendsPerGoroutine := 2_000
+	if testing.Short() {
+		sendsPerGoroutine = 250
+	}
+
+	c, err := New(Config{Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	payload := []byte{0xab, 0xcd, 0xef, 0x01}
+	err = c.RunPhase(func(node int) error {
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < sendsPerGoroutine; i++ {
+					for to := 0; to < nodes; to++ {
+						if to == node {
+							continue
+						}
+						// Send must copy-append under the hood: the same
+						// payload slice is shared by every goroutine.
+						c.Send(node, to, payload)
+						c.Account(node, 16, 1)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every node heard from nodes-1 senders, each contributing
+	// goroutines × sendsPerGoroutine × len(payload) bytes.
+	wantPerSender := goroutines * sendsPerGoroutine * len(payload)
+	for node := 0; node < nodes; node++ {
+		delivered := c.Recv(node)
+		if len(delivered) != nodes-1 {
+			t.Fatalf("node %d: got %d sender buffers, want %d", node, len(delivered), nodes-1)
+		}
+		for i, buf := range delivered {
+			if len(buf) != wantPerSender {
+				t.Fatalf("node %d buffer %d: %d bytes delivered, want %d (concurrent Send lost data)",
+					node, i, len(buf), wantPerSender)
+			}
+		}
+	}
+
+	// The analytic traffic must also have been tallied without loss: the
+	// phase report's bytes include both payloads and Account charges.
+	rep := c.Report()
+	wantBytes := int64(nodes * (nodes - 1) * goroutines * sendsPerGoroutine * (len(payload) + 16))
+	if rep.BytesSent != wantBytes {
+		t.Fatalf("report counts %d bytes sent, want %d (concurrent Account lost updates)", rep.BytesSent, wantBytes)
+	}
+}

@@ -52,7 +52,7 @@ func (g *Grid) accountSpMVTraffic(node int, vecLen int, bytesPerVal int, activeF
 // sorted column indices. bytesPerVal models the wire size of Y values;
 // activeFrac scales traffic for sparse input vectors.
 func DistSpMV[A, X, Y any](g *Grid, m *SpMat[A], x []X, sr Semiring[A, X, Y], bytesPerVal int, activeFrac float64) ([]Y, error) {
-	if uint32(len(x)) != m.NumCols {
+	if len(x) != int(m.NumCols) {
 		return nil, fmt.Errorf("combblas: DistSpMV vector length %d, matrix has %d columns", len(x), m.NumCols)
 	}
 	y := make([]Y, m.NumRows)

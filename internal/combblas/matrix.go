@@ -149,7 +149,7 @@ func PlusTimesWeighted() Semiring[float32, float64, float64] {
 // SpMV computes y[r] = ⊕_c A[r,c] ⊗ x[c] — a row-wise gather, parallel
 // over rows.
 func SpMV[A, X, Y any](m *SpMat[A], x []X, sr Semiring[A, X, Y]) ([]Y, error) {
-	if uint32(len(x)) != m.NumCols {
+	if len(x) != int(m.NumCols) {
 		return nil, fmt.Errorf("combblas: SpMV vector length %d, matrix has %d columns", len(x), m.NumCols)
 	}
 	y := make([]Y, m.NumRows)

@@ -81,8 +81,10 @@ func (e *Engine) BFS(g *graph.CSR, opt core.BFSOptions) (*core.BFSResult, error)
 	n := g.NumVertices
 	dist := make([]int32, n)
 	for i := range dist {
+		//lint:ignore atomic initialization happens-before ForEachBulk spawns workers
 		dist[i] = -1
 	}
+	//lint:ignore atomic initialization happens-before ForEachBulk spawns workers
 	dist[opt.Source] = 0
 	rounds := ForEachBulk([]uint32{opt.Source}, func(v uint32, push func(uint32)) {
 		level := atomic.LoadInt32(&dist[v])
@@ -124,7 +126,7 @@ func (e *Engine) TriangleCount(g *graph.CSR, opt core.TriangleOptions) (*core.Tr
 			atomic.AddInt64(&count, local)
 		}
 	})
-	return &core.TriangleResult{Count: count,
+	return &core.TriangleResult{Count: atomic.LoadInt64(&count),
 		Stats: core.RunStats{WallSeconds: time.Since(start).Seconds(), Iterations: 1}}, nil
 }
 
@@ -279,7 +281,7 @@ func (e *Engine) CollabFilter(r *graph.Bipartite, opt core.CFOptions) (*core.CFR
 func stripeBounds(n uint32, w int) []uint32 {
 	b := make([]uint32, w+1)
 	for i := 0; i <= w; i++ {
-		b[i] = uint32(uint64(n) * uint64(i) / uint64(w))
+		b[i] = graph.MustU32(int64(uint64(n) * uint64(i) / uint64(w)))
 	}
 	return b
 }

@@ -1,0 +1,111 @@
+package galois
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// These tests exist to run under `go test -race`: they hammer the worklist
+// and scheduler from many goroutines and then verify exactly-once
+// processing, so both the race detector and the counters can catch
+// synchronization bugs. testing.Short() scales the sizes down so the -short
+// race pass stays fast without skipping the scenario.
+
+// TestForEachStressDynamicPush drives ForEach with contended dynamic work
+// creation: every initial item pushes a second-generation item, so workers
+// are simultaneously draining, pushing, and stealing chunks. Every item of
+// both generations must be processed exactly once.
+func TestForEachStressDynamicPush(t *testing.T) {
+	n := 1 << 16
+	if testing.Short() {
+		n = 1 << 13
+	}
+	initial := make([]int, n)
+	for i := range initial {
+		initial[i] = i
+	}
+	counts := make([]int64, 2*n)
+	ForEach(initial, func(item int, ctx *Ctx[int]) {
+		atomic.AddInt64(&counts[item], 1)
+		if item < n {
+			ctx.Push(item + n)
+		}
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("item %d processed %d times, want exactly once", i, c)
+		}
+	}
+}
+
+// TestWorklistConcurrentPushSteal runs producers calling Push/PushChunk
+// against consumers stealing chunks via pop, all concurrently, and checks
+// that every pushed item is stolen exactly once (by summing item values).
+func TestWorklistConcurrentPushSteal(t *testing.T) {
+	producers := 8
+	perProducer := 1 << 14
+	if testing.Short() {
+		perProducer = 1 << 11
+	}
+	total := int64(producers * perProducer)
+	wl := &Worklist[int64]{}
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			base := int64(p * perProducer)
+			// Alternate single pushes and chunk pushes to contend both paths.
+			for i := 0; i < perProducer; {
+				if i%2 == 0 {
+					wl.Push(base + int64(i))
+					i++
+				} else {
+					hi := i + 7
+					if hi > perProducer {
+						hi = perProducer
+					}
+					chunk := make([]int64, 0, hi-i)
+					for ; i < hi; i++ {
+						chunk = append(chunk, base+int64(i))
+					}
+					wl.PushChunk(chunk)
+				}
+			}
+		}(p)
+	}
+
+	var stolen, sum int64
+	consumers := runtime.GOMAXPROCS(0)
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for atomic.LoadInt64(&stolen) < total {
+				chunk, ok := wl.pop()
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				var local int64
+				for _, v := range chunk {
+					local += v
+				}
+				atomic.AddInt64(&sum, local)
+				atomic.AddInt64(&stolen, int64(len(chunk)))
+			}
+		}()
+	}
+	wg.Wait()
+
+	want := total * (total - 1) / 2 // sum of 0..total-1
+	if sum != want {
+		t.Fatalf("stolen item sum = %d, want %d (items lost or duplicated)", sum, want)
+	}
+	if !wl.Empty() || wl.Len() != 0 {
+		t.Fatalf("worklist not drained: Len=%d", wl.Len())
+	}
+}

@@ -131,12 +131,12 @@ func Ratings(cfg RatingsConfig) (*graph.Bipartite, error) {
 	for i, e := range edges {
 		u, ok := userID[e.Src]
 		if !ok {
-			u = uint32(len(userID))
+			u = graph.MustU32(int64(len(userID)))
 			userID[e.Src] = u
 		}
 		v, ok := itemID[e.Dst]
 		if !ok {
-			v = uint32(len(itemID))
+			v = graph.MustU32(int64(len(itemID)))
 			itemID[e.Dst] = v
 		}
 		// Star ratings: integer steps across the configured range.
@@ -146,7 +146,7 @@ func Ratings(cfg RatingsConfig) (*graph.Bipartite, error) {
 		}
 		ratings[i] = graph.WeightedEdge{Src: u, Dst: v, Weight: stars}
 	}
-	return graph.NewBipartite(uint32(len(userID)), uint32(len(itemID)), ratings)
+	return graph.NewBipartite(graph.MustU32(int64(len(userID))), graph.MustU32(int64(len(itemID))), ratings)
 }
 
 // DegreeCCDF returns the complementary CDF of a degree distribution

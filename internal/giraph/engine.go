@@ -306,7 +306,10 @@ func (e *Engine) CollabFilter(r *graph.Bipartite, opt core.CFOptions) (*core.CFR
 	numUsers := r.NumUsers
 	// Unified graph: users [0,numUsers), items [numUsers, numUsers+items),
 	// weighted edges in both directions.
-	unified := buildUnified(r)
+	unified, err := buildUnified(r)
+	if err != nil {
+		return nil, err
+	}
 	userF := core.InitFactors(r.NumUsers, k, opt.Seed)
 	itemF := core.InitFactors(r.NumItems, k, opt.Seed+1)
 
@@ -407,7 +410,7 @@ func (e *Engine) CollabFilter(r *graph.Bipartite, opt core.CFOptions) (*core.CFR
 
 // buildUnified makes the user+item vertex space graph with rating-weighted
 // edges in both directions.
-func buildUnified(r *graph.Bipartite) *graph.CSR {
+func buildUnified(r *graph.Bipartite) (*graph.CSR, error) {
 	n := r.NumUsers + r.NumItems
 	edges := make([]graph.WeightedEdge, 0, 2*r.NumRatings())
 	for u := uint32(0); u < r.NumUsers; u++ {
@@ -418,10 +421,5 @@ func buildUnified(r *graph.Bipartite) *graph.CSR {
 				graph.WeightedEdge{Src: r.NumUsers + v, Dst: u, Weight: w[i]})
 		}
 	}
-	g, err := graph.FromWeightedEdges(n, edges)
-	if err != nil {
-		// Construction from a validated bipartite graph cannot fail.
-		panic(err)
-	}
-	return g
+	return graph.FromWeightedEdges(n, edges)
 }

@@ -81,7 +81,7 @@ func (c *Context) VoteToHalt() { c.rt.halted.SetAtomic(c.id) }
 
 // AddToCounter accumulates into a named global aggregator (Giraph
 // aggregators, used by triangle counting for the global sum).
-func (c *Context) AddToCounter(delta int64) { atomic.AddInt64(&c.rt.counter, delta) }
+func (c *Context) AddToCounter(delta int64) { c.rt.counter.Add(delta) }
 
 // Computation is the user's Compute method: invoked once per active vertex
 // per superstep with the messages delivered to it.
@@ -123,7 +123,7 @@ type runtime struct {
 	g         *graph.CSR
 	job       *Job
 	superstep int
-	counter   int64
+	counter   atomic.Int64
 	halted    *bvec
 
 	// staging is per (node, worker): Compute on node n / worker w appends
@@ -136,9 +136,11 @@ type runtime struct {
 	part       *graph.Partition1D
 
 	// bufferedBytes tracks the modeled heap held by buffered messages in
-	// the current chunk; remote* accumulate modeled wire traffic per node.
-	bufferedBytes int64
-	remoteBytes   []int64
+	// the current chunk; remoteBytes accumulates modeled wire traffic per
+	// node. Both are typed atomics because per-worker Compute goroutines
+	// update them concurrently while the superstep loop reads them.
+	bufferedBytes atomic.Int64
+	remoteBytes   []atomic.Int64
 	baselineMem   []int64
 }
 
@@ -186,7 +188,7 @@ func (rt *runtime) send(ctx *Context, to uint32, msg any) {
 		if rt.job.MessageBytes != nil {
 			size += int64(rt.job.MessageBytes(msg))
 		}
-		atomic.AddInt64(&rt.bufferedBytes, size)
+		rt.bufferedBytes.Add(size)
 		if rt.part != nil {
 			src, dst := rt.part.Owner(ctx.id), rt.part.Owner(to)
 			if src != dst {
@@ -194,7 +196,7 @@ func (rt *runtime) send(ctx *Context, to uint32, msg any) {
 				if rt.job.MessageBytes != nil {
 					wire += int64(rt.job.MessageBytes(msg))
 				}
-				atomic.AddInt64(&rt.remoteBytes[src], wire)
+				rt.remoteBytes[src].Add(wire)
 			}
 		}
 		return
@@ -204,7 +206,7 @@ func (rt *runtime) send(ctx *Context, to uint32, msg any) {
 	if rt.job.MessageBytes != nil {
 		size += int64(rt.job.MessageBytes(msg))
 	}
-	atomic.AddInt64(&rt.bufferedBytes, size)
+	rt.bufferedBytes.Add(size)
 	if rt.part != nil {
 		src, dst := rt.part.Owner(ctx.id), rt.part.Owner(to)
 		if src != dst {
@@ -212,7 +214,7 @@ func (rt *runtime) send(ctx *Context, to uint32, msg any) {
 			if rt.job.MessageBytes != nil {
 				wire += int64(rt.job.MessageBytes(msg))
 			}
-			atomic.AddInt64(&rt.remoteBytes[src], wire)
+			rt.remoteBytes[src].Add(wire)
 		}
 	}
 }
@@ -256,7 +258,7 @@ func Run(job *Job) (*Result, error) {
 			return nil, err
 		}
 		rt.part = part
-		rt.remoteBytes = make([]int64, nodes)
+		rt.remoteBytes = make([]atomic.Int64, nodes)
 		rt.baselineMem = make([]int64, nodes)
 		for node := 0; node < nodes; node++ {
 			lo, hi := part.Range(node)
@@ -319,7 +321,7 @@ func Run(job *Job) (*Result, error) {
 			} else {
 				rt.staging = make([][]envelope, nodes*rt.workers)
 			}
-			rt.bufferedBytes = 0
+			rt.bufferedBytes.Store(0)
 
 			if job.Cluster != nil {
 				err := job.Cluster.RunPhase(func(node int) error {
@@ -330,12 +332,12 @@ func Run(job *Job) (*Result, error) {
 					a := sort.Search(len(chunk), func(i int) bool { return chunk[i] >= lo })
 					b := sort.Search(len(chunk), func(i int) bool { return chunk[i] >= hi })
 					computeSlice(chunk[a:b], node*rt.workers)
-					if rt.remoteBytes[node] > 0 {
+					if remote := rt.remoteBytes[node].Load(); remote > 0 {
 						// Netty flushes per-destination buffers: the wire
 						// sees batched transfers, not one round-trip per
 						// vertex message.
-						job.Cluster.Account(node, rt.remoteBytes[node], int64(nodes-1))
-						rt.remoteBytes[node] = 0
+						job.Cluster.Account(node, remote, int64(nodes-1))
+						rt.remoteBytes[node].Store(0)
 					}
 					// Superstep barrier (zookeeper-style coordination).
 					job.Cluster.Account(node, 16, 1)
@@ -345,8 +347,8 @@ func Run(job *Job) (*Result, error) {
 					return nil, err
 				}
 				// Buffered messages sit on-heap until the chunk flushes.
-				if rt.bufferedBytes > 0 {
-					perNode := rt.bufferedBytes / int64(nodes)
+				if buffered := rt.bufferedBytes.Load(); buffered > 0 {
+					perNode := buffered / int64(nodes)
 					for node := 0; node < nodes; node++ {
 						job.Cluster.RecordMemory(node, rt.baselineMem[node]+perNode)
 					}
@@ -354,8 +356,8 @@ func Run(job *Job) (*Result, error) {
 			} else {
 				computeSlice(chunk, 0)
 			}
-			if rt.bufferedBytes > peakBuffered {
-				peakBuffered = rt.bufferedBytes
+			if buffered := rt.bufferedBytes.Load(); buffered > peakBuffered {
+				peakBuffered = buffered
 			}
 			// Flush: build the next inbox from the staged envelopes.
 			if job.Combiner != nil {
@@ -377,5 +379,5 @@ func Run(job *Job) (*Result, error) {
 		inbox = rt.nextInbox
 		supersteps++
 	}
-	return &Result{Values: values, Supersteps: supersteps, Counter: rt.counter, PeakBufferedBytes: peakBuffered}, nil
+	return &Result{Values: values, Supersteps: supersteps, Counter: rt.counter.Load(), PeakBufferedBytes: peakBuffered}, nil
 }

@@ -137,7 +137,7 @@ func NewPartition2D(numVertices uint32, parts int) (*Partition2D, error) {
 	}
 	starts := make([]uint32, r+1)
 	for i := 0; i <= r; i++ {
-		starts[i] = uint32(uint64(numVertices) * uint64(i) / uint64(r))
+		starts[i] = MustU32(int64(uint64(numVertices) * uint64(i) / uint64(r)))
 	}
 	cols := make([]uint32, r+1)
 	copy(cols, starts)

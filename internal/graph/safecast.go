@@ -1,0 +1,26 @@
+package graph
+
+import "fmt"
+
+// MustU32 converts x to uint32, panicking if the value does not fit. It is
+// the checked form of the uint32(...) narrowing that graphlint's truncate
+// rule forbids: at Twitter/Graph500 scale an unchecked narrowing corrupts
+// vertex and edge indices silently, while MustU32 turns the impossible
+// configuration into an immediate, attributable failure at build/load time.
+func MustU32(x int64) uint32 {
+	if x < 0 || x > 0xFFFFFFFF {
+		panic(fmt.Sprintf("graph: value %d does not fit in uint32", x))
+	}
+	//lint:ignore truncate the range check above proves the value fits
+	return uint32(x)
+}
+
+// MustI32 converts x to int32, panicking if the value does not fit. See
+// MustU32 for why engines use this instead of a raw int32(...) conversion.
+func MustI32(x int64) int32 {
+	if x < -1<<31 || x > 1<<31-1 {
+		panic(fmt.Sprintf("graph: value %d does not fit in int32", x))
+	}
+	//lint:ignore truncate the range check above proves the value fits
+	return int32(x)
+}

@@ -1,0 +1,213 @@
+// Package lint implements graphlint, the project-specific static analyzer
+// that guards the invariants our concurrent engine runtimes rely on but the
+// generic Go toolchain cannot check: no mixed atomic/plain access, no
+// fire-and-forget goroutines in engine code, no panics in library paths,
+// no silent 64-bit → 32-bit index truncation, and doc comments on every
+// exported engine API.
+//
+// The analyzer is built only on the standard library (go/parser, go/ast,
+// go/types): Load parses and type-checks the module from source, Run applies
+// every Rule to every package, and findings are reported as
+// "file:line: [rule] message". Intentional violations are silenced in place
+// with a "//lint:ignore <rule> <reason>" comment on (or directly above) the
+// offending line, or for whole files with "//lint:file-ignore <rule>
+// <reason>".
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	File string `json:"file"` // path relative to the module root
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"message"`
+}
+
+// String renders the finding in the canonical "file:line: [rule] message"
+// form the CI gate greps for.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Rule, f.Msg)
+}
+
+// Package is one type-checked package of the module under analysis. Test
+// files are excluded: the rules guard shipped runtime code, and stress tests
+// intentionally hammer internals in ways the rules forbid.
+type Package struct {
+	// Rel is the package directory relative to the module root ("" for the
+	// root package). Rules use it to decide whether they apply.
+	Rel string
+	// Path is the full import path.
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Rule is one self-contained invariant check.
+type Rule interface {
+	// Name is the short identifier used in findings and ignore directives.
+	Name() string
+	// Doc is a one-line description for -list output.
+	Doc() string
+	// Check inspects one package and reports violations.
+	Check(p *Package, report func(pos token.Pos, format string, args ...any))
+}
+
+// DefaultRules returns every graphlint rule in reporting order.
+func DefaultRules() []Rule {
+	return []Rule{
+		&AtomicRule{},
+		&GoroutineRule{},
+		&PanicRule{},
+		&TruncateRule{},
+		&DocRule{},
+	}
+}
+
+// enginePackages are the relative paths of the hand-rolled runtime packages:
+// the concurrency-sensitive layer every rule set cares most about.
+var enginePackages = map[string]bool{
+	"internal/par":       true,
+	"internal/galois":    true,
+	"internal/giraph":    true,
+	"internal/graphlab":  true,
+	"internal/combblas":  true,
+	"internal/cluster":   true,
+	"internal/native":    true,
+	"internal/socialite": true,
+}
+
+// isEngine reports whether rel names one of the engine runtime packages.
+func isEngine(rel string) bool { return enginePackages[rel] }
+
+// Run applies rules to pkgs and returns the surviving findings sorted by
+// file and line, with ignore directives already applied.
+func Run(pkgs []*Package, rules []Rule) []Finding {
+	var findings []Finding
+	for _, p := range pkgs {
+		ignores := collectIgnores(p)
+		for _, r := range rules {
+			rule := r
+			report := func(pos token.Pos, format string, args ...any) {
+				position := p.Fset.Position(pos)
+				f := Finding{
+					File: position.Filename,
+					Line: position.Line,
+					Col:  position.Column,
+					Rule: rule.Name(),
+					Msg:  fmt.Sprintf(format, args...),
+				}
+				if ignores.suppressed(f) {
+					return
+				}
+				findings = append(findings, f)
+			}
+			rule.Check(p, report)
+		}
+		// Directives that name an unknown rule are themselves findings:
+		// a typo in an ignore comment must not silently disable nothing.
+		findings = append(findings, ignores.bad...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].File != findings[j].File {
+			return findings[i].File < findings[j].File
+		}
+		if findings[i].Line != findings[j].Line {
+			return findings[i].Line < findings[j].Line
+		}
+		return findings[i].Rule < findings[j].Rule
+	})
+	return findings
+}
+
+// ignoreDirective is one parsed //lint:ignore or //lint:file-ignore comment.
+type ignoreDirective struct {
+	rule   string
+	reason string
+	line   int
+	file   string
+	whole  bool // file-ignore: applies to the entire file
+}
+
+type ignoreSet struct {
+	directives []ignoreDirective
+	bad        []Finding
+}
+
+// collectIgnores parses the lint directives of every file in p.
+func collectIgnores(p *Package) *ignoreSet {
+	known := make(map[string]bool)
+	for _, r := range DefaultRules() {
+		known[r.Name()] = true
+	}
+	set := &ignoreSet{}
+	for _, file := range p.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				var whole bool
+				switch {
+				case strings.HasPrefix(text, "lint:ignore"):
+					text = strings.TrimPrefix(text, "lint:ignore")
+				case strings.HasPrefix(text, "lint:file-ignore"):
+					text = strings.TrimPrefix(text, "lint:file-ignore")
+					whole = true
+				default:
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					set.bad = append(set.bad, Finding{
+						File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Rule: "directive",
+						Msg:  "lint:ignore needs a rule name and a reason",
+					})
+					continue
+				}
+				if !known[fields[0]] {
+					set.bad = append(set.bad, Finding{
+						File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Rule: "directive",
+						Msg:  fmt.Sprintf("lint:ignore names unknown rule %q", fields[0]),
+					})
+					continue
+				}
+				set.directives = append(set.directives, ignoreDirective{
+					rule:   fields[0],
+					reason: strings.Join(fields[1:], " "),
+					line:   pos.Line,
+					file:   pos.Filename,
+					whole:  whole,
+				})
+			}
+		}
+	}
+	return set
+}
+
+// suppressed reports whether f is covered by a directive: a file-ignore for
+// the same rule anywhere in the file, or a line ignore on the finding's line
+// or the line directly above it.
+func (s *ignoreSet) suppressed(f Finding) bool {
+	for _, d := range s.directives {
+		if d.file != f.File || d.rule != f.Rule {
+			continue
+		}
+		if d.whole || d.line == f.Line || d.line == f.Line-1 {
+			return true
+		}
+	}
+	return false
+}

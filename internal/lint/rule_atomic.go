@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicRule flags plain reads and writes of a variable (or of the elements
+// of a slice/array variable) that is elsewhere in the same package accessed
+// through sync/atomic. Mixing the two access modes is how the engines'
+// counters have historically gone racy: the atomic sites promise concurrent
+// mutation, so every other touch of the same location needs the same
+// discipline (or a //lint:ignore with the happens-before argument).
+//
+// The rule tracks object identity through go/types, so two local variables
+// that merely share a name never alias, and it distinguishes element-level
+// atomics (atomic.AddInt64(&xs[i], ...)) from whole-variable atomics: for
+// the former only plain element accesses are flagged — passing the slice
+// header around is fine.
+type AtomicRule struct{}
+
+// Name implements Rule.
+func (*AtomicRule) Name() string { return "atomic" }
+
+// Doc implements Rule.
+func (*AtomicRule) Doc() string {
+	return "no plain access to variables that are elsewhere accessed via sync/atomic"
+}
+
+// atomicUse records how a variable is touched by sync/atomic calls.
+type atomicUse struct {
+	pos     token.Pos
+	fn      string // atomic function name at the first site
+	element bool   // access is to an element of the variable, not the variable
+}
+
+// Check implements Rule.
+func (r *AtomicRule) Check(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	// Pass 1: find every &operand handed to a sync/atomic function and
+	// resolve it to a types.Object.
+	used := make(map[types.Object]atomicUse)
+	atomicArgs := make(map[ast.Expr]bool) // operand expressions inside atomic calls
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(p, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				unary, ok := arg.(*ast.UnaryExpr)
+				if !ok || unary.Op != token.AND {
+					continue
+				}
+				obj, element := addressedObject(p, unary.X)
+				if obj == nil {
+					continue
+				}
+				markAtomicOperand(unary.X, atomicArgs)
+				if prev, ok := used[obj]; ok {
+					// Element-level and whole-variable atomics on the same
+					// object: keep the stricter (whole-variable) record.
+					if prev.element && !element {
+						used[obj] = atomicUse{pos: unary.Pos(), fn: calleeName(call), element: false}
+					}
+					continue
+				}
+				used[obj] = atomicUse{pos: unary.Pos(), fn: calleeName(call), element: element}
+			}
+			return true
+		})
+	}
+	if len(used) == 0 {
+		return
+	}
+
+	// Pass 2: flag plain accesses of the recorded objects.
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.RangeStmt:
+				// Ranging with a value variable reads the elements plainly
+				// (index-only ranges touch just the slice header).
+				if e.Value == nil {
+					return true
+				}
+				obj, _ := addressedObject(p, e.X)
+				if obj == nil {
+					return true
+				}
+				if use, ok := used[obj]; ok && use.element {
+					report(e.X.Pos(), "plain range over %s, whose elements are accessed via %s at %s",
+						obj.Name(), use.fn, p.Fset.Position(use.pos))
+				}
+				return true
+			case *ast.IndexExpr:
+				obj, _ := addressedObject(p, e.X)
+				if obj == nil {
+					return true
+				}
+				use, ok := used[obj]
+				if !ok || atomicArgs[e] || withinAtomicOperand(e, atomicArgs) {
+					return true
+				}
+				report(e.Pos(), "plain access of %s, which is accessed via %s at %s",
+					obj.Name(), use.fn, p.Fset.Position(use.pos))
+				return false // don't re-report the base identifier
+			case *ast.Ident:
+				obj := p.Info.Uses[e]
+				if obj == nil {
+					return true
+				}
+				use, ok := used[obj]
+				if !ok || use.element {
+					// Element-level atomics: the variable itself (the slice
+					// header) may be read and passed around freely.
+					return true
+				}
+				if atomicArgs[e] || withinAtomicOperand(e, atomicArgs) {
+					return true
+				}
+				report(e.Pos(), "plain access of %s, which is accessed via %s at %s",
+					obj.Name(), use.fn, p.Fset.Position(use.pos))
+			case *ast.SelectorExpr:
+				obj := selectedObject(p, e)
+				if obj == nil {
+					return true
+				}
+				use, ok := used[obj]
+				if !ok || use.element || atomicArgs[e] || withinAtomicOperand(e, atomicArgs) {
+					return true
+				}
+				report(e.Pos(), "plain access of %s, which is accessed via %s at %s",
+					obj.Name(), use.fn, p.Fset.Position(use.pos))
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// isAtomicCall reports whether call invokes a function of sync/atomic.
+func isAtomicCall(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := p.Info.Uses[ident].(*types.PkgName)
+	return ok && pkg.Imported().Path() == "sync/atomic"
+}
+
+func calleeName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return "atomic." + sel.Sel.Name
+	}
+	return "sync/atomic"
+}
+
+// addressedObject resolves the variable underlying expr: an identifier, a
+// field selection, or (setting element) an index into one of those.
+func addressedObject(p *Package, expr ast.Expr) (types.Object, bool) {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		obj := p.Info.Uses[e]
+		if _, ok := obj.(*types.Var); ok {
+			return obj, false
+		}
+	case *ast.SelectorExpr:
+		return selectedObject(p, e), false
+	case *ast.IndexExpr:
+		obj, _ := addressedObject(p, e.X)
+		return obj, true
+	case *ast.ParenExpr:
+		return addressedObject(p, e.X)
+	}
+	return nil, false
+}
+
+// selectedObject resolves x.f to f's object when it is a struct field or a
+// package-level variable.
+func selectedObject(p *Package, e *ast.SelectorExpr) types.Object {
+	if sel, ok := p.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+		return sel.Obj()
+	}
+	if obj, ok := p.Info.Uses[e.Sel].(*types.Var); ok {
+		return obj
+	}
+	return nil
+}
+
+// markAtomicOperand records expr and every sub-expression on its access path
+// so pass 2 does not flag the atomic call's own operand.
+func markAtomicOperand(expr ast.Expr, set map[ast.Expr]bool) {
+	for expr != nil {
+		set[expr] = true
+		switch e := expr.(type) {
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			set[e.Sel] = true
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return
+		}
+	}
+}
+
+// withinAtomicOperand reports whether e sits inside an expression already
+// marked as an atomic operand (e.g. the index expression of &xs[i]).
+func withinAtomicOperand(e ast.Expr, set map[ast.Expr]bool) bool {
+	return set[e]
+}

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// DocRule requires doc comments on the exported API of the root graphmaze
+// package and of every engine package: the engines are the units of
+// comparison in the paper's study, and an undocumented knob on one of them
+// is how benchmark configurations silently drift. A declaration group's
+// comment covers its members; methods need docs when both the receiver type
+// and the method name are exported.
+type DocRule struct{}
+
+// Name implements Rule.
+func (*DocRule) Name() string { return "doc" }
+
+// Doc implements Rule.
+func (*DocRule) Doc() string {
+	return "exported API of the root package and every engine needs a doc comment"
+}
+
+// Check implements Rule.
+func (r *DocRule) Check(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	if p.Rel != "" && !isEngine(p.Rel) {
+		return
+	}
+	hasPackageDoc := false
+	for _, file := range p.Files {
+		if file.Doc != nil {
+			hasPackageDoc = true
+		}
+	}
+	if !hasPackageDoc && len(p.Files) > 0 {
+		report(p.Files[0].Package, "package %s has no package doc comment", p.Types.Name())
+	}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || d.Doc != nil {
+					continue
+				}
+				if d.Recv != nil && !exportedReceiver(d.Recv) {
+					continue
+				}
+				kind := "function"
+				if d.Recv != nil {
+					kind = "method"
+				}
+				report(d.Pos(), "exported %s %s has no doc comment", kind, d.Name.Name)
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE && d.Tok != token.VAR && d.Tok != token.CONST {
+					continue
+				}
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+							report(s.Pos(), "exported type %s has no doc comment", s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						var exported *ast.Ident
+						for _, name := range s.Names {
+							if name.IsExported() {
+								exported = name
+								break
+							}
+						}
+						if exported != nil && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+							report(s.Pos(), "exported %s %s has no doc comment", d.Tok, exported.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// exportedReceiver reports whether the method receiver names an exported
+// type.
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch e := t.(type) {
+		case *ast.StarExpr:
+			t = e.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = e.X
+		case *ast.IndexListExpr:
+			t = e.X
+		case *ast.Ident:
+			return e.IsExported()
+		default:
+			return false
+		}
+	}
+}

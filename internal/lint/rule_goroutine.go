@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineRule forbids fire-and-forget goroutines in the engine runtime
+// packages: every `go` statement must have a join visible in the same
+// top-level function — a sync.WaitGroup (or similar) Wait call, a channel
+// receive, a range over a channel, or a select statement. Benchmarks that
+// leak workers skew every timing the harness collects, so engine code
+// either joins its goroutines or carries a //lint:ignore explaining who
+// does.
+type GoroutineRule struct{}
+
+// Name implements Rule.
+func (*GoroutineRule) Name() string { return "goroutine" }
+
+// Doc implements Rule.
+func (*GoroutineRule) Doc() string {
+	return "engine goroutines must be joined (WaitGroup/channel) in the spawning function"
+}
+
+// Check implements Rule.
+func (r *GoroutineRule) Check(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	if !isEngine(p.Rel) && p.Rel != "internal/gen" {
+		return
+	}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			var spawns []*ast.GoStmt
+			joined := false
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.GoStmt:
+					spawns = append(spawns, e)
+				case *ast.SelectStmt:
+					joined = true
+				case *ast.UnaryExpr:
+					if e.Op == token.ARROW {
+						joined = true
+					}
+				case *ast.RangeStmt:
+					if isChannel(p, e.X) {
+						joined = true
+					}
+				case *ast.CallExpr:
+					if sel, ok := e.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+						joined = true
+					}
+				}
+				return true
+			})
+			if joined {
+				continue
+			}
+			for _, g := range spawns {
+				report(g.Pos(), "goroutine in %s is never joined: add a WaitGroup or channel join in the same function", fn.Name.Name)
+			}
+		}
+	}
+}
+
+func isChannel(p *Package, expr ast.Expr) bool {
+	tv, ok := p.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"strings"
+)
+
+// PanicRule forbids panic in library code: the engines are benchmarked as
+// long-running services and must surface failures as errors, not crashes.
+// Panics remain legitimate in three builder/validation niches — functions
+// whose name starts with "Must", functions whose name contains "Validate",
+// and builder.go files — where a panic documents a programmer error caught
+// at construction time. Everything else needs a //lint:ignore with the
+// invariant that makes the panic unreachable.
+//
+// Packages named main (commands, examples) are exempt: a CLI is allowed to
+// die loudly.
+type PanicRule struct{}
+
+// Name implements Rule.
+func (*PanicRule) Name() string { return "panic" }
+
+// Doc implements Rule.
+func (*PanicRule) Doc() string {
+	return "no panic in library code outside builder/validation paths (Must*, *Validate*, builder.go)"
+}
+
+// Check implements Rule.
+func (r *PanicRule) Check(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	if p.Types.Name() == "main" {
+		return
+	}
+	for _, file := range p.Files {
+		base := path.Base(p.Fset.Position(file.Pos()).Filename)
+		if base == "builder.go" {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			name := fn.Name.Name
+			if strings.HasPrefix(name, "Must") || strings.HasPrefix(name, "must") ||
+				strings.Contains(name, "Validate") {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				ident, ok := call.Fun.(*ast.Ident)
+				if !ok || ident.Name != "panic" {
+					return true
+				}
+				if obj, ok := p.Info.Uses[ident].(*types.Builtin); !ok || obj.Name() != "panic" {
+					return true
+				}
+				report(call.Pos(), "panic in library function %s: return an error instead (or rename to Must*/move to a builder path)", name)
+				return true
+			})
+		}
+	}
+}

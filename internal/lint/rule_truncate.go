@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// TruncateRule flags integer conversions that can silently corrupt vertex
+// and edge indices at Twitter/Graph500 scale: narrowing a 64-bit value (or
+// a len/cap result) into int32/uint32 drops the high bits without a trace,
+// and on a graph with more than 2^32 edges the corruption is data-dependent
+// and invisible in small tests. Conversions must either go through the
+// checked graph.MustU32/MustI32 helpers or carry a //lint:ignore with the
+// bound that makes them safe.
+//
+// The rule deliberately does not flag uint32(i) over an int loop variable:
+// vertex ids are uint32 by design throughout the module, loops over
+// [0, NumVertices) are bounded by a uint32, and flagging the idiom would
+// drown the real findings. Signed int32 targets, 64-bit sources, and direct
+// len()/cap() narrowing are where truncation bugs actually live.
+//
+// It applies to the graph and generator layers plus every engine package —
+// the code that manipulates indices at full dataset scale.
+type TruncateRule struct{}
+
+// Name implements Rule.
+func (*TruncateRule) Name() string { return "truncate" }
+
+// Doc implements Rule.
+func (*TruncateRule) Doc() string {
+	return "no unchecked 64-bit (or len/cap) narrowing to int32/uint32 in graph/gen/engine code"
+}
+
+// Check implements Rule.
+func (r *TruncateRule) Check(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	if p.Rel != "internal/graph" && p.Rel != "internal/gen" && !isEngine(p.Rel) {
+		return
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := p.Info.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			target, ok := tv.Type.Underlying().(*types.Basic)
+			if !ok {
+				return true
+			}
+			if target.Kind() != types.Int32 && target.Kind() != types.Uint32 {
+				return true
+			}
+			arg := call.Args[0]
+			argTV, ok := p.Info.Types[arg]
+			if !ok || argTV.Value != nil {
+				// Constants are checked by the compiler: uint32(1) is fine.
+				return true
+			}
+			src, ok := argTV.Type.Underlying().(*types.Basic)
+			if !ok {
+				return true
+			}
+			switch {
+			case src.Kind() == types.Int64 || src.Kind() == types.Uint64:
+				report(call.Pos(), "unchecked conversion of %s to %s truncates above 2^32: use graph.MustU32/MustI32 or prove the bound", src.Name(), target.Name())
+			case isLenOrCap(p, arg):
+				report(call.Pos(), "unchecked conversion of len/cap to %s truncates above 2^32: use graph.MustU32/MustI32 or prove the bound", target.Name())
+			case target.Kind() == types.Int32 && (src.Kind() == types.Int || src.Kind() == types.Uint || src.Kind() == types.Uintptr):
+				report(call.Pos(), "unchecked conversion of %s to int32 truncates above 2^31: use graph.MustI32 or prove the bound", src.Name())
+			}
+			return true
+		})
+	}
+}
+
+// isLenOrCap reports whether expr is a direct len(...) or cap(...) call.
+func isLenOrCap(p *Package, expr ast.Expr) bool {
+	if paren, ok := expr.(*ast.ParenExpr); ok {
+		return isLenOrCap(p, paren.X)
+	}
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	ident, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj, ok := p.Info.Uses[ident].(*types.Builtin)
+	return ok && (obj.Name() == "len" || obj.Name() == "cap")
+}

@@ -64,7 +64,7 @@ func buildBlocks(r *graph.Bipartite, w int) (blocks [][]blockEdge, userStripe, i
 func stripeBounds(n uint32, w int) []uint32 {
 	b := make([]uint32, w+1)
 	for i := 0; i <= w; i++ {
-		b[i] = uint32(uint64(n) * uint64(i) / uint64(w))
+		b[i] = graph.MustU32(int64(uint64(n) * uint64(i) / uint64(w)))
 	}
 	return b
 }

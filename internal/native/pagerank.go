@@ -301,7 +301,7 @@ func (e *Engine) pageRankCluster(g *graph.CSR, opt core.PageRankOptions) (*core.
 func (e *Engine) encodePRMessage(ids []uint32, idBytes []byte, contrib []float64) ([]byte, error) {
 	if !e.tuning.Compression {
 		out := make([]byte, 4+12*len(ids))
-		binary.LittleEndian.PutUint32(out, uint32(len(ids)))
+		binary.LittleEndian.PutUint32(out, graph.MustU32(int64(len(ids))))
 		pos := 4
 		for _, id := range ids {
 			binary.LittleEndian.PutUint32(out[pos:], id)
@@ -311,8 +311,8 @@ func (e *Engine) encodePRMessage(ids []uint32, idBytes []byte, contrib []float64
 		return out, nil
 	}
 	out := make([]byte, 8+len(idBytes)+4*len(ids))
-	binary.LittleEndian.PutUint32(out, uint32(len(ids))|0x80000000)
-	binary.LittleEndian.PutUint32(out[4:], uint32(len(idBytes)))
+	binary.LittleEndian.PutUint32(out, graph.MustU32(int64(len(ids)))|0x80000000)
+	binary.LittleEndian.PutUint32(out[4:], graph.MustU32(int64(len(idBytes))))
 	copy(out[8:], idBytes)
 	pos := 8 + len(idBytes)
 	for _, id := range ids {

@@ -80,7 +80,7 @@ func (e *Engine) triangleLocal(g *graph.CSR) int64 {
 		}
 		atomic.AddInt64(&total, local)
 	})
-	return total
+	return atomic.LoadInt64(&total)
 }
 
 // intersectSortedCount counts common elements of two sorted id lists.
@@ -194,7 +194,7 @@ func (e *Engine) triangleCluster(g *graph.CSR, opt core.TriangleOptions) (*core.
 	}
 
 	return &core.TriangleResult{
-		Count: total,
+		Count: atomic.LoadInt64(&total),
 		Stats: core.RunStats{
 			WallSeconds: c.Report().SimulatedSeconds,
 			Simulated:   true,
@@ -224,7 +224,7 @@ func (e *Engine) encodeAdjacency(v uint32, adj []uint32, universe uint32) ([]byt
 	}
 	out := make([]byte, 8+len(body))
 	putUint32(out, v)
-	putUint32(out[4:], uint32(len(body)))
+	putUint32(out[4:], graph.MustU32(int64(len(body))))
 	copy(out[8:], body)
 	return out, nil
 }

@@ -3,6 +3,7 @@ package socialite
 import (
 	"runtime"
 
+	"graphmaze/internal/graph"
 	"graphmaze/internal/par"
 )
 
@@ -78,12 +79,14 @@ func EvalParallel(rule *Rule, lo, hi uint32, delta []uint32, owner func(uint32) 
 
 	routed := make([][][]kv, workers) // [producer][consumerShard]
 	globals := make([]float64, workers)
-	var firstErr error
+	// Each worker reports into its own slot: a single shared error variable
+	// would be a write-write race across workers.
+	workerErrs := make([]error, workers)
 	par.ForWorkersIndexed(workers, workers, func(_, wlo, whi int) {
 		for w := wlo; w < whi; w++ {
 			buf := make([][]kv, workers)
-			dlo := lo + uint32(uint64(span)*uint64(w)/uint64(workers))
-			dhi := lo + uint32(uint64(span)*uint64(w+1)/uint64(workers))
+			dlo := lo + graph.MustU32(int64(uint64(span)*uint64(w)/uint64(workers)))
+			dhi := lo + graph.MustU32(int64(uint64(span)*uint64(w+1)/uint64(workers)))
 			sink := func(key uint32, val Value) {
 				if global {
 					globals[w] += val.S()
@@ -102,14 +105,14 @@ func EvalParallel(rule *Rule, lo, hi uint32, delta []uint32, owner func(uint32) 
 			} else {
 				err = rule.EvalEdgeDriver(dlo, dhi, sink)
 			}
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
+			workerErrs[w] = err
 			routed[w] = buf
 		}
 	})
-	if firstErr != nil {
-		return stats, firstErr
+	for _, err := range workerErrs {
+		if err != nil {
+			return stats, err
+		}
 	}
 
 	if global {

@@ -81,7 +81,7 @@ func NewVecTable(name string, numKeys uint32) *VecTable {
 func (t *VecTable) Name() string { return t.name }
 
 // NumKeys reports the key-space size.
-func (t *VecTable) NumKeys() uint32 { return uint32(len(t.vals)) }
+func (t *VecTable) NumKeys() uint32 { return graph.MustU32(int64(len(t.vals))) }
 
 // Len reports how many keys are present.
 func (t *VecTable) Len() int { return int(t.count.Load()) }
@@ -147,6 +147,7 @@ const (
 	AggCount
 )
 
+// String names the aggregation in SociaLite's $FUNC notation.
 func (a Agg) String() string {
 	switch a {
 	case AggAssign:
@@ -195,6 +196,7 @@ func (t *VecTable) fold(agg Agg, key uint32, val Value) bool {
 		old[0] += val.S()
 		return true
 	default:
+		//lint:ignore panic aggregations are validated by the parser; an unknown value here is a programmer error
 		panic(fmt.Sprintf("socialite: unknown aggregation %v", agg))
 	}
 }
@@ -229,6 +231,7 @@ func (t *VecTable) foldScalar(agg Agg, key uint32, x float64) bool {
 		}
 		return false
 	default:
+		//lint:ignore panic aggregations are validated by the parser; an unknown value here is a programmer error
 		panic(fmt.Sprintf("socialite: unknown aggregation %v", agg))
 	}
 }
