@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint fmt all
+.PHONY: build test race lint fmt all bench-par
 
 all: fmt lint build test
 
@@ -23,3 +23,10 @@ lint:
 # fmt fails if any file needs gofmt, and prints the offenders.
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# bench-par runs the scheduling-layer microbenchmarks and the skewed
+# native kernels (static vs dynamic/edge-balanced) and writes the results
+# as JSON. Override the graph size with GRAPHMAZE_SKEW_SCALE (default 16).
+bench-par:
+	$(GO) test -run '^$$' -bench 'BenchmarkPar|BenchmarkNative.*Skewed' -benchmem \
+		./internal/par ./internal/native | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_par.json

@@ -1,0 +1,90 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a JSON array on stdout, so benchmark runs can be committed
+// and diffed as data:
+//
+//	go test -bench 'Skewed' -run '^$' ./internal/par | go run ./cmd/benchjson > BENCH_par.json
+//
+// Each benchmark result line becomes one object holding the benchmark
+// name (sub-benchmark path and GOMAXPROCS suffix intact), iteration
+// count, ns/op, and any extra metrics the benchmark reported (B/op,
+// allocs/op, custom ReportMetric units). Context lines (goos, goarch,
+// pkg, cpu) are captured once into every object emitted under that
+// header.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	results, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) ([]result, error) {
+	results := []result{}
+	var pkg, cpu string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			cpu = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		// Shape: Name iterations value unit [value unit]...
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := result{Name: fields[0], Package: pkg, CPU: cpu, Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", line, fields[i])
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				r.NsPerOp = val
+				continue
+			}
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = val
+		}
+		results = append(results, r)
+	}
+	return results, sc.Err()
+}

@@ -153,7 +153,10 @@ func SpMV[A, X, Y any](m *SpMat[A], x []X, sr Semiring[A, X, Y]) ([]Y, error) {
 		return nil, fmt.Errorf("combblas: SpMV vector length %d, matrix has %d columns", len(x), m.NumCols)
 	}
 	y := make([]Y, m.NumRows)
-	par.For(int(m.NumRows), func(lo, hi int) {
+	// Row-wise gather costs one ⊗/⊕ pair per nonzero, so rows are split
+	// by nonzero count: equal row counts would serialize the hub rows of a
+	// power-law matrix onto one worker (paper §3.1).
+	par.ForOffsets(m.Offsets, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			acc := sr.Zero()
 			cols, vals := m.Row(uint32(r))
@@ -191,6 +194,9 @@ func SpMSpV(a *SpMat[struct{}], x []uint32, marks []bool) []uint32 {
 	return out
 }
 
+// spgemmGrain is the dynamic chunk size for SpGEMM's row loop.
+const spgemmGrain = 128
+
 // SpGEMM computes C = A·B over the counting semiring (values are the
 // number of combined paths, the quantity triangle counting needs from A²)
 // using Gustavson's row-by-row algorithm with a dense accumulator — the
@@ -203,8 +209,16 @@ func SpGEMM(a *SpMat[struct{}], b *SpMat[struct{}]) (*SpMat[int64], error) {
 	offsets := make([]int64, a.NumRows+1)
 	rowsCols := make([][]uint32, a.NumRows)
 	rowsVals := make([][]int64, a.NumRows)
-	par.For(int(a.NumRows), func(lo, hi int) {
-		acc := make(map[uint32]int64)
+	// Per-row cost is the sum of B-row lengths over the row's nonzeros —
+	// unpredictable from A's structure alone — so rows are claimed
+	// dynamically, with the accumulator map reused per worker.
+	accs := make([]map[uint32]int64, par.NumWorkers())
+	par.ForDynamicIndexed(int(a.NumRows), spgemmGrain, func(worker, lo, hi int) {
+		acc := accs[worker]
+		if acc == nil {
+			acc = make(map[uint32]int64)
+			accs[worker] = acc
+		}
 		for r := lo; r < hi; r++ {
 			clear(acc)
 			aCols, _ := a.Row(uint32(r))
@@ -251,7 +265,7 @@ func EWiseMultSum(a *SpMat[struct{}], b *SpMat[int64]) (int64, error) {
 	}
 	var total int64
 	results := make([]int64, a.NumRows)
-	par.For(int(a.NumRows), func(lo, hi int) {
+	par.ForOffsets(a.Offsets, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			aCols, _ := a.Row(uint32(r))
 			bCols, bVals := b.Row(uint32(r))
@@ -319,7 +333,7 @@ func sortU32(ids []uint32) {
 // engine's PageRank uses it to derive the degree vector.
 func Reduce[A, X, Y any](m *SpMat[A], x X, sr Semiring[A, X, Y]) []Y {
 	out := make([]Y, m.NumRows)
-	par.For(int(m.NumRows), func(lo, hi int) {
+	par.ForOffsets(m.Offsets, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			acc := sr.Zero()
 			_, vals := m.Row(uint32(r))

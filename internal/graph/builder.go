@@ -112,12 +112,7 @@ func (b *Builder) Build(opt BuildOptions) (*CSR, error) {
 	}
 
 	if opt.Dedup {
-		sort.Slice(edges, func(i, j int) bool {
-			if edges[i].Src != edges[j].Src {
-				return edges[i].Src < edges[j].Src
-			}
-			return edges[i].Dst < edges[j].Dst
-		})
+		sortEdgesByKey(edges)
 		w := 0
 		for i, e := range edges {
 			if i > 0 && e == edges[i-1] {

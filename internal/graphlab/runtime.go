@@ -97,7 +97,10 @@ func runLocal[V, G any](g *graph.CSR, in *graph.CSR, spec Spec[V, G]) runResult[
 			val V
 		}
 		var allPending []pending
-		par.For(int(n), func(lo, hi int) {
+		// The sweep's per-vertex cost is the in-degree gather plus the
+		// out-degree scatter — skewed on power-law graphs, and further
+		// warped by the active set — so chunks are claimed dynamically.
+		par.ForDynamic(int(n), 0, func(lo, hi int) {
 			var local []pending
 			localActivity := false
 			for v := uint32(lo); v < uint32(hi); v++ {

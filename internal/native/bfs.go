@@ -9,6 +9,7 @@ import (
 	"graphmaze/internal/codec"
 	"graphmaze/internal/core"
 	"graphmaze/internal/graph"
+	"graphmaze/internal/par"
 )
 
 // BFS implements core.Engine over an undirected (symmetrized) graph,
@@ -96,8 +97,18 @@ func (e *Engine) bfsLocal(g *graph.CSR, source uint32) ([]int32, int) {
 // where scheduling overhead would dominate the level's work.
 const serialFrontierThreshold = 512
 
+// frontierGrain is the dynamic chunk size for frontier expansion: the
+// per-vertex cost is its degree, which on a power-law graph varies by
+// orders of magnitude across one frontier, so workers claim small chunks
+// instead of being dealt equal vertex counts.
+const frontierGrain = 128
+
 // bfsTopDown expands the frontier in parallel, claiming vertices through
-// the atomic bit vector.
+// the atomic bit vector. Chunks are claimed dynamically (a frontier mixes
+// hubs and leaves); each chunk stages its discoveries under its lo index,
+// and chunk boundaries are fixed multiples of the grain, so the
+// concatenated next frontier is deterministic regardless of which worker
+// ran which chunk.
 func bfsTopDown(g *graph.CSR, dist []int32, visited *bitvec.Vector, frontier []uint32, level int32) []uint32 {
 	if len(frontier) < serialFrontierThreshold {
 		var next []uint32
@@ -112,9 +123,8 @@ func bfsTopDown(g *graph.CSR, dist []int32, visited *bitvec.Vector, frontier []u
 		}
 		return next
 	}
-	type chunkResult struct{ next []uint32 }
-	results := make([]chunkResult, len(frontier))
-	parallelFor(len(frontier), func(lo, hi int) {
+	results := make([][]uint32, len(frontier))
+	par.ForDynamic(len(frontier), frontierGrain, func(lo, hi int) {
 		var next []uint32
 		for i := lo; i < hi; i++ {
 			for _, t := range g.Neighbors(frontier[i]) {
@@ -124,23 +134,23 @@ func bfsTopDown(g *graph.CSR, dist []int32, visited *bitvec.Vector, frontier []u
 				}
 			}
 		}
-		if lo < len(results) {
-			results[lo] = chunkResult{next: next}
-		}
+		results[lo] = next
 	})
 	var out []uint32
 	for _, r := range results {
-		out = append(out, r.next...)
+		out = append(out, r...)
 	}
 	return out
 }
 
 // bfsBottomUp scans unvisited vertices looking for any visited neighbour.
+// The scan skips visited vertices and stops a row early, so per-vertex
+// cost is unpredictable — dynamic chunks keep the workers level.
 func bfsBottomUp(g *graph.CSR, dist []int32, visited *bitvec.Vector, level int32) []uint32 {
 	n := int(g.NumVertices)
 	found := make([]uint32, 0, 1024)
 	var mu sleeplessLock
-	parallelFor(n, func(lo, hi int) {
+	par.ForDynamic(n, 0, func(lo, hi int) {
 		var local []uint32
 		for v := lo; v < hi; v++ {
 			if visited.Get(uint32(v)) {

@@ -373,21 +373,6 @@ func TestPRMessageCodecRoundTrip(t *testing.T) {
 	}
 }
 
-func TestSortUint32(t *testing.T) {
-	for _, n := range []int{0, 1, 5, 32, 33, 100, 1000} {
-		ids := make([]uint32, n)
-		for i := range ids {
-			ids[i] = uint32((i * 2654435761) % 10000)
-		}
-		sortUint32(ids)
-		for i := 1; i < n; i++ {
-			if ids[i-1] > ids[i] {
-				t.Fatalf("n=%d: not sorted at %d", n, i)
-			}
-		}
-	}
-}
-
 func TestDedupSorted(t *testing.T) {
 	got := dedupSorted([]uint32{1, 1, 2, 3, 3, 3, 7})
 	want := []uint32{1, 2, 3, 7}

@@ -4,12 +4,14 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"slices"
 	"time"
 
 	"graphmaze/internal/cluster"
 	"graphmaze/internal/codec"
 	"graphmaze/internal/core"
 	"graphmaze/internal/graph"
+	"graphmaze/internal/par"
 )
 
 // PageRank implements core.Engine. g holds out-edges; the kernel builds the
@@ -63,7 +65,10 @@ func (e *Engine) pageRankLocal(g *graph.CSR, opt core.PageRankOptions) ([]float6
 					}
 				}
 			})
-			parallelFor(n, func(lo, hi int) {
+			// The gather costs one load per in-edge, so the split is
+			// edge-balanced: equal vertex counts would hand one worker all
+			// the hubs on an RMAT graph.
+			parallelForOffsets(in.Offsets, func(lo, hi int) {
 				for v := lo; v < hi; v++ {
 					sum := 0.0
 					row := in.Neighbors(uint32(v))
@@ -74,7 +79,7 @@ func (e *Engine) pageRankLocal(g *graph.CSR, opt core.PageRankOptions) ([]float6
 				}
 			})
 		} else {
-			parallelFor(n, func(lo, hi int) {
+			parallelForOffsets(in.Offsets, func(lo, hi int) {
 				for v := lo; v < hi; v++ {
 					sum := 0.0
 					for _, j := range in.Neighbors(uint32(v)) {
@@ -92,19 +97,23 @@ func (e *Engine) pageRankLocal(g *graph.CSR, opt core.PageRankOptions) ([]float6
 	return pr, iters
 }
 
-// maxAbsDiff returns the largest element-wise |a-b|.
+// maxAbsDiff returns the largest element-wise |a-b|, reduced through
+// per-worker lanes (max is order-independent, so the parallel result is
+// bit-identical to a serial scan).
 func maxAbsDiff(a, b []float64) float64 {
-	worst := 0.0
-	for i := range a {
-		d := a[i] - b[i]
-		if d < 0 {
-			d = -d
+	return par.ReduceFloat64Max(len(a), func(lo, hi int) float64 {
+		worst := 0.0
+		for i := lo; i < hi; i++ {
+			d := a[i] - b[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
 		}
-		if d > worst {
-			worst = d
-		}
-	}
-	return worst
+		return worst
+	})
 }
 
 // prExchange is the precomputed boundary-communication plan for
@@ -149,7 +158,7 @@ func buildPRExchange(g *graph.CSR, part *graph.Partition1D) *prExchange {
 			for v := range m {
 				ids = append(ids, v)
 			}
-			sortUint32(ids)
+			slices.Sort(ids)
 			ex.sendIDs[s][d] = ids
 		}
 	}
@@ -362,50 +371,4 @@ func (e *Engine) applyPRMessage(payload []byte, contrib []float64) error {
 		pos += 4
 	}
 	return nil
-}
-
-// sortUint32 sorts ids ascending (insertion sort for short lists, else
-// pdq via sort.Slice is avoided to keep this allocation-free).
-func sortUint32(ids []uint32) {
-	if len(ids) <= 32 {
-		for i := 1; i < len(ids); i++ {
-			v := ids[i]
-			j := i - 1
-			for j >= 0 && ids[j] > v {
-				ids[j+1] = ids[j]
-				j--
-			}
-			ids[j+1] = v
-		}
-		return
-	}
-	quickSortUint32(ids)
-}
-
-func quickSortUint32(ids []uint32) {
-	for len(ids) > 32 {
-		pivot := ids[len(ids)/2]
-		i, j := 0, len(ids)-1
-		for i <= j {
-			for ids[i] < pivot {
-				i++
-			}
-			for ids[j] > pivot {
-				j--
-			}
-			if i <= j {
-				ids[i], ids[j] = ids[j], ids[i]
-				i++
-				j--
-			}
-		}
-		if j > len(ids)-i {
-			quickSortUint32(ids[i:])
-			ids = ids[:j+1]
-		} else {
-			quickSortUint32(ids[:j+1])
-			ids = ids[i:]
-		}
-	}
-	sortUint32(ids)
 }

@@ -1,0 +1,208 @@
+package native
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"graphmaze/internal/bitvec"
+	"graphmaze/internal/core"
+	"graphmaze/internal/gen"
+	"graphmaze/internal/graph"
+	"graphmaze/internal/par"
+)
+
+// The scheduling-layer conversion must not change results at all: the
+// dynamic and edge-balanced loops only move chunk boundaries, never the
+// per-vertex arithmetic. These tests pin bit-identical agreement between
+// the shipped kernels and the pre-conversion static-chunk versions, which
+// are preserved below as references (and reused by the skewed benchmarks
+// as the baseline side).
+
+// triangleLocalStatic is the pre-scheduling-layer triangle kernel: one
+// equal-vertex-count chunk per worker, counts merged through a single
+// shared atomic.
+func triangleLocalStatic(e *Engine, g *graph.CSR) int64 {
+	var total int64
+	n := int(g.NumVertices)
+	par.For(n, func(lo, hi int) {
+		var local int64
+		var bv *bitvec.Vector
+		var bvOwner []uint32
+		for v := lo; v < hi; v++ {
+			adjV := g.Neighbors(uint32(v))
+			if len(adjV) == 0 {
+				continue
+			}
+			useBV := e.tuning.Bitvector && len(adjV) >= bitvecDegreeThreshold
+			if useBV {
+				if bv == nil {
+					bv = bitvec.New(g.NumVertices)
+				}
+				for _, t := range adjV {
+					bv.Set(t)
+				}
+				bvOwner = adjV
+			}
+			for _, u := range adjV {
+				adjU := g.Neighbors(u)
+				if useBV {
+					for _, t := range adjU {
+						if bv.Get(t) {
+							local++
+						}
+					}
+				} else {
+					local += int64(intersectSortedCount(adjV, adjU))
+				}
+			}
+			if useBV {
+				for _, t := range bvOwner {
+					bv.Clear(t)
+				}
+			}
+		}
+		atomic.AddInt64(&total, local)
+	})
+	return atomic.LoadInt64(&total)
+}
+
+// pageRankLocalStatic is the pre-scheduling-layer PageRank kernel:
+// equal-vertex gather chunks and a serial maxAbsDiff.
+func pageRankLocalStatic(e *Engine, g *graph.CSR, opt core.PageRankOptions) ([]float64, int) {
+	in := g.Transpose()
+	outDeg := g.OutDegrees()
+	n := int(g.NumVertices)
+	pr := make([]float64, n)
+	next := make([]float64, n)
+	for i := range pr {
+		pr[i] = 1
+	}
+	var contrib []float64
+	if e.tuning.ContribCaching {
+		contrib = make([]float64, n)
+	}
+	maxAbsDiffSerial := func(a, b []float64) float64 {
+		worst := 0.0
+		for i := range a {
+			d := a[i] - b[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+	iters := 0
+	for it := 0; it < opt.Iterations; it++ {
+		iters++
+		if e.tuning.ContribCaching {
+			par.For(n, func(lo, hi int) {
+				for v := lo; v < hi; v++ {
+					if outDeg[v] > 0 {
+						contrib[v] = (1 - opt.RandomJump) * pr[v] / float64(outDeg[v])
+					} else {
+						contrib[v] = 0
+					}
+				}
+			})
+			par.For(n, func(lo, hi int) {
+				for v := lo; v < hi; v++ {
+					sum := 0.0
+					for _, j := range in.Neighbors(uint32(v)) {
+						sum += contrib[j]
+					}
+					next[v] = opt.RandomJump + sum
+				}
+			})
+		} else {
+			par.For(n, func(lo, hi int) {
+				for v := lo; v < hi; v++ {
+					sum := 0.0
+					for _, j := range in.Neighbors(uint32(v)) {
+						sum += (1 - opt.RandomJump) * pr[j] / float64(outDeg[j])
+					}
+					next[v] = opt.RandomJump + sum
+				}
+			})
+		}
+		pr, next = next, pr
+		if opt.Tolerance > 0 && maxAbsDiffSerial(pr, next) <= opt.Tolerance {
+			break
+		}
+	}
+	return pr, iters
+}
+
+func TestTriangleDynamicMatchesStatic(t *testing.T) {
+	g := testGraphAcyclic(t)
+	for _, bitv := range []bool{true, false} {
+		tn := DefaultTuning()
+		tn.Bitvector = bitv
+		e := NewTuned(tn)
+		want := triangleLocalStatic(e, g)
+		got := e.triangleLocal(g)
+		if got != want {
+			t.Errorf("bitvector=%v: dynamic count %d != static count %d", bitv, got, want)
+		}
+	}
+}
+
+func TestPageRankEdgeBalancedMatchesStatic(t *testing.T) {
+	g := testGraphDirected(t)
+	for _, caching := range []bool{true, false} {
+		tn := DefaultTuning()
+		tn.ContribCaching = caching
+		e := NewTuned(tn)
+		// Tolerance > 0 exercises the parallel maxAbsDiff reduction's
+		// early-convergence path too.
+		opt := core.PageRankOptions{Iterations: 30, RandomJump: 0.15, Tolerance: 1e-9}
+		wantRanks, wantIters := pageRankLocalStatic(e, g, opt)
+		gotRanks, gotIters := e.pageRankLocal(g, opt)
+		if gotIters != wantIters {
+			t.Errorf("caching=%v: %d iterations, static ran %d", caching, gotIters, wantIters)
+		}
+		for v := range wantRanks {
+			// Bit-identical: chunk boundaries moved, per-vertex sums did not.
+			if gotRanks[v] != wantRanks[v] {
+				t.Fatalf("caching=%v: rank[%d] = %v, static %v", caching, v, gotRanks[v], wantRanks[v])
+			}
+		}
+	}
+}
+
+// TestBFSDynamicMatchesArrayReference forces the parallel top-down /
+// bottom-up machinery (it engages above 2^19 edges) and checks every
+// distance against the simple array-probing baseline.
+func TestBFSDynamicMatchesArrayReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-graph BFS conformance is not a -short test")
+	}
+	edges, err := gen.RMAT(gen.Graph500Config(15, 16, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := graph.NewBuilder(1 << 15)
+	b.AddEdges(edges)
+	g, err := b.Build(graph.BuildOptions{Orientation: graph.Symmetrize, Dedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() < 1<<19 {
+		t.Fatalf("test graph too small to engage the parallel BFS path: %d edges", g.NumEdges())
+	}
+	e := New()
+	dist, _ := e.bfsLocal(g, 1)
+	refDist := make([]int32, g.NumVertices)
+	for i := range refDist {
+		refDist[i] = -1
+	}
+	refDist[1] = 0
+	refDist, _ = bfsTopDownArray(g, refDist, 1)
+	for v := range refDist {
+		if dist[v] != refDist[v] {
+			t.Fatalf("dist[%d] = %d, reference %d", v, dist[v], refDist[v])
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"graphmaze/internal/codec"
 	"graphmaze/internal/core"
 	"graphmaze/internal/graph"
+	"graphmaze/internal/par"
 )
 
 // bitvecDegreeThreshold is the adjacency size above which the native code
@@ -35,12 +36,19 @@ func (e *Engine) TriangleCount(g *graph.CSR, opt core.TriangleOptions) (*core.Tr
 	}, nil
 }
 
+// triangleGrain is the dynamic chunk size for the per-vertex triangle
+// loop. Per-vertex cost is ~deg² — the worst case for static chunking on
+// a power-law graph, where one hub-owning chunk serializes the whole
+// count — so chunks are small and claimed off a shared counter.
+const triangleGrain = 64
+
 func (e *Engine) triangleLocal(g *graph.CSR) int64 {
-	var total int64
 	n := int(g.NumVertices)
-	parallelFor(n, func(lo, hi int) {
+	// Per-worker bit-vector scratch survives across the many small chunks
+	// one worker claims (allocating it per chunk would dominate).
+	scratch := make([]*bitvec.Vector, par.NumWorkers())
+	return par.ReduceInt64Dynamic(n, triangleGrain, func(worker, lo, hi int) int64 {
 		var local int64
-		var bv *bitvec.Vector
 		var bvOwner []uint32
 		for v := lo; v < hi; v++ {
 			adjV := g.Neighbors(uint32(v))
@@ -48,9 +56,12 @@ func (e *Engine) triangleLocal(g *graph.CSR) int64 {
 				continue
 			}
 			useBV := e.tuning.Bitvector && len(adjV) >= bitvecDegreeThreshold
+			var bv *bitvec.Vector
 			if useBV {
+				bv = scratch[worker]
 				if bv == nil {
 					bv = bitvec.New(g.NumVertices)
+					scratch[worker] = bv
 				}
 				for _, t := range adjV {
 					bv.Set(t)
@@ -78,9 +89,8 @@ func (e *Engine) triangleLocal(g *graph.CSR) int64 {
 				}
 			}
 		}
-		atomic.AddInt64(&total, local)
+		return local
 	})
-	return atomic.LoadInt64(&total)
 }
 
 // intersectSortedCount counts common elements of two sorted id lists.

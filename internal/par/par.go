@@ -1,6 +1,18 @@
-// Package par provides the tiny data-parallel loop primitives the engines
-// share. Kernels split work into contiguous chunks so CSR scans stay
-// streaming.
+// Package par provides the data-parallel loop primitives the engines
+// share. Three scheduling strategies are available (DESIGN.md §8):
+//
+//   - For / ForWorkers: static contiguous chunks with equal vertex
+//     counts. Right for loops whose per-index cost is uniform.
+//   - ForOffsets: static contiguous chunks with equal *edge* counts,
+//     split on a CSR prefix-sum array. Right for per-vertex loops whose
+//     cost is proportional to degree on power-law graphs, where equal
+//     vertex counts are wildly imbalanced (paper §3.1).
+//   - ForDynamic: fixed-grain chunks claimed off an atomic counter.
+//     Right for loops with unpredictable per-index cost (triangle
+//     counting's ~deg² per vertex, frontier expansion).
+//
+// All loops tile [0,n) exactly once, join before returning, and fall
+// back to a serial call when fan-out would cost more than it saves.
 package par
 
 import (
@@ -27,27 +39,27 @@ func ForWorkersIndexed(workers, n int, body func(worker, lo, hi int)) {
 		return
 	}
 	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
+	base, rem := n/workers, n%workers
+	lo := 0
 	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
+		hi := lo + base
+		if w < rem {
+			hi++
 		}
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			body(w, lo, hi)
 		}(w, lo, hi)
+		lo = hi
 	}
 	wg.Wait()
 }
 
 // ForWorkers is For with an explicit worker cap — engines that model a
 // constrained runtime (Giraph's 4 workers per node) pass their limit.
+// The remainder of n/workers is spread over the first n%workers chunks,
+// so chunk sizes never differ by more than one.
 func ForWorkers(workers, n int, body func(lo, hi int)) {
 	if workers > n {
 		workers = n
@@ -59,21 +71,25 @@ func ForWorkers(workers, n int, body func(lo, hi int)) {
 		return
 	}
 	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
+	base, rem := n/workers, n%workers
+	lo := 0
 	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
+		hi := lo + base
+		if w < rem {
+			hi++
 		}
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
 			body(lo, hi)
 		}(lo, hi)
+		lo = hi
 	}
 	wg.Wait()
 }
+
+// NumWorkers reports the worker-index upper bound of the GOMAXPROCS-wide
+// loops: indices passed to ForDynamicIndexed bodies are always below this
+// value. Callers allocating per-worker scratch size their arrays with it
+// (ForWorkersIndexed is instead bounded by its explicit workers argument).
+func NumWorkers() int { return runtime.GOMAXPROCS(0) }

@@ -1,0 +1,131 @@
+package par
+
+import "runtime"
+
+// The reductions below give kernels per-worker accumulation lanes so a
+// parallel sum (or max) never funnels through one contended atomic: each
+// chunk's partial lands in a cache-line-padded per-worker slot, and the
+// slots are combined serially after the join. Because integer addition
+// and max are associative and exact, and each chunk computes its partial
+// over the same contiguous index range a serial loop would, results are
+// bit-identical to the serial reduction for int64 and for float max; a
+// float64 *sum* keeps the chunk-major association, which is deterministic
+// for a fixed worker count.
+
+// laneInt64 pads each worker's accumulator to a cache line so neighbours
+// don't false-share.
+type laneInt64 struct {
+	v int64
+	_ [56]byte
+}
+
+type laneFloat64 struct {
+	v float64
+	_ [56]byte
+}
+
+// ReduceInt64 sums body's partial results over a static equal-count
+// chunking of [0,n).
+func ReduceInt64(n int, body func(lo, hi int) int64) int64 {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n <= 0 {
+			return 0
+		}
+		return body(0, n)
+	}
+	lanes := make([]laneInt64, workers)
+	ForWorkersIndexed(workers, n, func(w, lo, hi int) {
+		lanes[w].v = body(lo, hi)
+	})
+	var total int64
+	for i := range lanes {
+		total += lanes[i].v
+	}
+	return total
+}
+
+// ReduceFloat64 sums body's partial results over a static equal-count
+// chunking of [0,n).
+func ReduceFloat64(n int, body func(lo, hi int) float64) float64 {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n <= 0 {
+			return 0
+		}
+		return body(0, n)
+	}
+	lanes := make([]laneFloat64, workers)
+	ForWorkersIndexed(workers, n, func(w, lo, hi int) {
+		lanes[w].v = body(lo, hi)
+	})
+	total := 0.0
+	for i := range lanes {
+		total += lanes[i].v
+	}
+	return total
+}
+
+// ReduceFloat64Max returns the maximum of body's per-chunk results over a
+// static equal-count chunking of [0,n), or 0 when n <= 0. Intended for
+// non-negative quantities (convergence residuals); max is
+// order-independent, so the result is bit-identical to a serial scan.
+func ReduceFloat64Max(n int, body func(lo, hi int) float64) float64 {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n <= 0 {
+			return 0
+		}
+		return body(0, n)
+	}
+	lanes := make([]laneFloat64, workers)
+	ForWorkersIndexed(workers, n, func(w, lo, hi int) {
+		lanes[w].v = body(lo, hi)
+	})
+	worst := 0.0
+	for i := range lanes {
+		if lanes[i].v > worst {
+			worst = lanes[i].v
+		}
+	}
+	return worst
+}
+
+// ReduceInt64Dynamic sums body's partial results over dynamically claimed
+// grain-sized chunks of [0,n) (see ForDynamic). The body receives the
+// executing worker's index so kernels can reuse per-worker scratch across
+// the many chunks one worker claims.
+func ReduceInt64Dynamic(n, grain int, body func(worker, lo, hi int) int64) int64 {
+	lanes := make([]laneInt64, NumWorkers())
+	ForDynamicIndexed(n, grain, func(w, lo, hi int) {
+		lanes[w].v += body(w, lo, hi)
+	})
+	var total int64
+	for i := range lanes {
+		total += lanes[i].v
+	}
+	return total
+}
+
+// ReduceFloat64Dynamic sums body's partial results over dynamically
+// claimed grain-sized chunks of [0,n).
+func ReduceFloat64Dynamic(n, grain int, body func(worker, lo, hi int) float64) float64 {
+	lanes := make([]laneFloat64, NumWorkers())
+	ForDynamicIndexed(n, grain, func(w, lo, hi int) {
+		lanes[w].v += body(w, lo, hi)
+	})
+	total := 0.0
+	for i := range lanes {
+		total += lanes[i].v
+	}
+	return total
+}
