@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint fmt all bench-par
+.PHONY: build test race lint fmt all bench-par trace-demo
 
 all: fmt lint build test
 
@@ -30,3 +30,11 @@ fmt:
 bench-par:
 	$(GO) test -run '^$$' -bench 'BenchmarkPar|BenchmarkNative.*Skewed' -benchmem \
 		./internal/par ./internal/native | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_par.json
+
+# trace-demo runs a small traced experiment end to end: the Chrome trace
+# lands in trace-demo.json (load it at https://ui.perfetto.dev) and the
+# machine-readable report in trace-demo-report.json.
+trace-demo:
+	$(GO) run ./cmd/graphbench -exp table5 -quick -iters 2 \
+		-trace trace-demo.json -json > trace-demo-report.json
+	@echo "wrote trace-demo.json and trace-demo-report.json"

@@ -8,6 +8,7 @@
 //	graphbench -exp table5
 //	graphbench -exp fig4 -nodes 1,4,16,64 -scale 12
 //	graphbench -exp all -quick
+//	graphbench -exp table5 -trace t.json -json
 package main
 
 import (
@@ -18,16 +19,19 @@ import (
 	"strings"
 
 	"graphmaze/internal/harness"
+	"graphmaze/internal/trace"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		list  = flag.Bool("list", false, "list available experiments")
-		scale = flag.Int("scale", 0, "override the base RMAT scale (0 = experiment default)")
-		nodes = flag.String("nodes", "", "comma-separated node counts for scaling experiments")
-		iters = flag.Int("iters", 0, "iterations for iterative algorithms (0 = default)")
-		quick = flag.Bool("quick", false, "shrink inputs for a fast smoke run")
+		exp      = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list     = flag.Bool("list", false, "list available experiments")
+		scale    = flag.Int("scale", 0, "override the base RMAT scale (0 = experiment default)")
+		nodes    = flag.String("nodes", "", "comma-separated node counts for scaling experiments")
+		iters    = flag.Int("iters", 0, "iterations for iterative algorithms (0 = default)")
+		quick    = flag.Bool("quick", false, "shrink inputs for a fast smoke run")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event file (load in Perfetto) to this path")
+		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON report on stdout (tables move to stderr)")
 	)
 	flag.Parse()
 
@@ -44,6 +48,14 @@ func main() {
 	}
 
 	opt := harness.Options{Out: os.Stdout, Scale: *scale, Iterations: *iters, Quick: *quick}
+	if *jsonOut {
+		// JSON owns stdout so pipelines stay parseable; tables go to stderr.
+		opt.Out = os.Stderr
+		opt.JSON = os.Stdout
+	}
+	if *traceOut != "" || *jsonOut {
+		opt.Trace = trace.New()
+	}
 	if *nodes != "" {
 		for _, part := range strings.Split(*nodes, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
@@ -57,5 +69,12 @@ func main() {
 	if err := harness.Run(*exp, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "graphbench:", err)
 		os.Exit(1)
+	}
+	if *traceOut != "" {
+		if err := opt.Trace.WriteChromeTraceFile(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "graphbench: writing trace:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "graphbench: wrote trace to %s (load at https://ui.perfetto.dev)\n", *traceOut)
 	}
 }

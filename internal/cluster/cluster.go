@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"graphmaze/internal/metrics"
+	"graphmaze/internal/trace"
 )
 
 // CommLayer models a communication substrate: the peak bandwidth a node
@@ -74,6 +75,10 @@ type Config struct {
 	// GB), used only for normalizing the footprint metric. 0 disables
 	// normalization.
 	MemoryPerNode int64
+	// Trace, when non-nil, receives one virtual-time span per node per
+	// phase with compute/network/wait attribution (DESIGN.md §9). The nil
+	// tracer disables tracing at the cost of a pointer check.
+	Trace *trace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -126,6 +131,7 @@ type Cluster struct {
 	extraMsgs   []int64
 	baselineMem []int64 // engine-declared resident bytes per node
 	phases      int
+	virtualSec  float64 // accumulated modeled wall clock
 }
 
 // New returns a cluster for the given configuration.
@@ -143,6 +149,9 @@ func New(cfg Config) (*Cluster, error) {
 		baselineMem: make([]int64, cfg.Nodes),
 	}
 	c.resetOutbox()
+	for n := 0; n < cfg.Nodes; n++ {
+		cfg.Trace.SetProcessName(trace.PidNode(n), fmt.Sprintf("node %d (%s, virtual time)", n, cfg.Comm.Name))
+	}
 	return c, nil
 }
 
@@ -209,6 +218,9 @@ func (c *Cluster) RecordMemory(node int, bytes int64) {
 // clock. It returns the first compute error, which aborts the exchange.
 func (c *Cluster) RunPhase(compute func(node int) error) error {
 	computeSec := make([]float64, c.cfg.Nodes)
+	netSec := make([]float64, c.cfg.Nodes)
+	nodeBytes := make([]int64, c.cfg.Nodes)
+	nodeMsgs := make([]int64, c.cfg.Nodes)
 	for n := 0; n < c.cfg.Nodes; n++ {
 		start := time.Now()
 		if err := compute(n); err != nil {
@@ -232,6 +244,7 @@ func (c *Cluster) RunPhase(compute func(node int) error) error {
 		bytes += c.extraBytes[n]
 		msgs += c.extraMsgs[n]
 		net := c.cfg.Comm.Latency*float64(msgs) + float64(bytes)/c.cfg.Comm.Bandwidth
+		netSec[n], nodeBytes[n], nodeMsgs[n] = net, bytes, msgs
 		achieved := 0.0
 		if net > 0 {
 			achieved = float64(bytes) / net
@@ -259,6 +272,33 @@ func (c *Cluster) RunPhase(compute func(node int) error) error {
 	}
 	c.collector.AddPhase(wall, maxCompute, maxNet, busy)
 
+	if c.cfg.Trace.Enabled() {
+		// One span per node per phase: the node's own compute and network
+		// time, with the barrier slack (time spent waiting on the slowest
+		// node) attributed as wait — the per-phase imbalance the paper's
+		// §6 roadmap arguments rest on.
+		for n := 0; n < c.cfg.Nodes; n++ {
+			active := computeSec[n] + netSec[n]
+			if c.cfg.Overlap {
+				active = max(computeSec[n], netSec[n])
+			}
+			wait := wall - active
+			if wait < 0 {
+				wait = 0
+			}
+			c.cfg.Trace.RecordVirtual(trace.PidNode(n), "cluster.phase",
+				fmt.Sprintf("phase %d", c.phases), c.virtualSec, wall,
+				map[string]float64{
+					"compute_sec": computeSec[n],
+					"network_sec": netSec[n],
+					"wait_sec":    wait,
+					"bytes":       float64(nodeBytes[n]),
+					"messages":    float64(nodeMsgs[n]),
+				})
+		}
+	}
+	c.virtualSec += wall
+
 	// Deliver: inbox[to] gets every non-nil payload addressed to it.
 	for to := 0; to < c.cfg.Nodes; to++ {
 		var delivered [][]byte
@@ -278,6 +318,15 @@ func (c *Cluster) RunPhase(compute func(node int) error) error {
 
 // Phases reports how many phases have completed.
 func (c *Cluster) Phases() int { return c.phases }
+
+// VirtualSeconds reports the modeled wall clock accumulated so far.
+// Engines bracket RunPhase calls with it to place their own phase spans
+// (supersteps, sweeps) on the virtual timeline.
+func (c *Cluster) VirtualSeconds() float64 { return c.virtualSec }
+
+// Tracer returns the tracer the cluster was configured with (nil when
+// tracing is disabled).
+func (c *Cluster) Tracer() *trace.Tracer { return c.cfg.Trace }
 
 // Report finalizes and returns the run's metrics.
 func (c *Cluster) Report() metrics.Report { return c.collector.Report() }

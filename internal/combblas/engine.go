@@ -1,6 +1,7 @@
 package combblas
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"graphmaze/internal/core"
 	"graphmaze/internal/graph"
 	"graphmaze/internal/par"
+	"graphmaze/internal/trace"
 )
 
 // Engine is the CombBLAS-model engine: every algorithm is a composition of
@@ -33,6 +35,16 @@ func (e *Engine) Name() string { return "CombBLAS" }
 // Capabilities implements core.Engine.
 func (e *Engine) Capabilities() core.Capabilities {
 	return core.Capabilities{MultiNode: true, SGD: false, ProgrammingModel: "sparse matrix"}
+}
+
+// execConfig mirrors the run-wide tracer into a copy of the cluster config
+// so grid phases emit per-node spans.
+func execConfig(exec core.Exec) cluster.Config {
+	cfg := *exec.Cluster
+	if cfg.Trace == nil {
+		cfg.Trace = exec.Trace
+	}
+	return cfg
 }
 
 // newGrid builds the MPI-driven process grid; node counts must be perfect
@@ -90,27 +102,33 @@ func (e *Engine) PageRank(g *graph.CSR, opt core.PageRankOptions) (*core.PageRan
 	}
 
 	if opt.Exec.Cluster == nil {
+		tr := opt.Exec.Tracer()
 		start := time.Now()
 		for it := 0; it < opt.Iterations; it++ {
+			sp := tr.Begin("combblas.spmv", "spmv iteration").Arg("iter", float64(it))
 			par.For(n, normalize)
 			y, err := SpMV(at, phat, sr)
 			if err != nil {
+				sp.End()
 				return nil, err
 			}
 			par.For(n, func(lo, hi int) { finish(y, lo, hi) })
+			sp.End()
 		}
 		return &core.PageRankResult{Ranks: p,
 			Stats: core.RunStats{WallSeconds: time.Since(start).Seconds(), Iterations: opt.Iterations}}, nil
 	}
 
-	grid, err := e.newGrid(*opt.Exec.Cluster, g.NumVertices)
+	grid, err := e.newGrid(execConfig(opt.Exec), g.NumVertices)
 	if err != nil {
 		return nil, err
 	}
 	for node := 0; node < grid.C.Nodes(); node++ {
 		grid.C.SetBaselineMemory(node, at.MemoryBytes(0)/int64(grid.C.Nodes())+int64(n)*24/int64(grid.C.Nodes()))
 	}
+	tr := grid.C.Tracer()
 	for it := 0; it < opt.Iterations; it++ {
+		iterStart := grid.C.VirtualSeconds()
 		// Dense vector ops run on the block-diagonal owners' stripes.
 		if err := grid.C.RunPhase(func(node int) error {
 			rlo, rhi, _, _ := grid.blockBounds(node)
@@ -136,6 +154,8 @@ func (e *Engine) PageRank(g *graph.CSR, opt core.PageRankOptions) (*core.PageRan
 		}); err != nil {
 			return nil, err
 		}
+		tr.RecordVirtual(trace.PidEngine, "combblas.spmv",
+			fmt.Sprintf("spmv iteration %d", it), iterStart, grid.C.VirtualSeconds()-iterStart, nil)
 	}
 	return &core.PageRankResult{Ranks: p, Stats: statsFrom(grid.C, opt.Iterations)}, nil
 }
@@ -159,7 +179,7 @@ func (e *Engine) BFS(g *graph.CSR, opt core.BFSOptions) (*core.BFSResult, error)
 
 	var grid *Grid
 	if opt.Exec.Cluster != nil {
-		grid, err = e.newGrid(*opt.Exec.Cluster, n)
+		grid, err = e.newGrid(execConfig(opt.Exec), n)
 		if err != nil {
 			return nil, err
 		}
@@ -218,7 +238,7 @@ func (e *Engine) TriangleCount(g *graph.CSR, opt core.TriangleOptions) (*core.Tr
 		return &core.TriangleResult{Count: count,
 			Stats: core.RunStats{WallSeconds: time.Since(start).Seconds(), Iterations: 1}}, nil
 	}
-	grid, err := e.newGrid(*opt.Exec.Cluster, g.NumVertices)
+	grid, err := e.newGrid(execConfig(opt.Exec), g.NumVertices)
 	if err != nil {
 		return nil, err
 	}

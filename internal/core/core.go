@@ -16,6 +16,7 @@ import (
 	"graphmaze/internal/cluster"
 	"graphmaze/internal/graph"
 	"graphmaze/internal/metrics"
+	"graphmaze/internal/trace"
 )
 
 // Exec selects where an algorithm runs: in-process on the host (nil
@@ -25,6 +26,23 @@ type Exec struct {
 	// cluster configuration. Engines without multi-node support return
 	// ErrSingleNodeOnly.
 	Cluster *cluster.Config
+	// Trace, when non-nil, receives the run's phase spans and counters
+	// (per-iteration kernel spans, engine supersteps, scheduler lanes).
+	// Engines thread it unconditionally; the nil tracer is a no-op whose
+	// hot-path cost is one pointer check.
+	Trace *trace.Tracer
+}
+
+// Tracer returns the run's tracer: the Exec-level one, or the cluster
+// config's when only that was set. Nil when tracing is disabled.
+func (e Exec) Tracer() *trace.Tracer {
+	if e.Trace != nil {
+		return e.Trace
+	}
+	if e.Cluster != nil {
+		return e.Cluster.Trace
+	}
+	return nil
 }
 
 // ErrSingleNodeOnly is returned by engines (Galois) that have no

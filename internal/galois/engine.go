@@ -50,7 +50,9 @@ func (e *Engine) PageRank(g *graph.CSR, opt core.PageRankOptions) (*core.PageRan
 	for i := range vertices {
 		vertices[i] = uint32(i)
 	}
+	tr := opt.Exec.Tracer()
 	for it := 0; it < opt.Iterations; it++ {
+		sp := tr.Begin("galois.round", "pagerank round").Arg("iter", float64(it))
 		ForEach(vertices, func(v uint32, _ *Ctx[uint32]) {
 			sum := 0.0
 			for _, j := range in.Neighbors(v) {
@@ -61,6 +63,7 @@ func (e *Engine) PageRank(g *graph.CSR, opt core.PageRankOptions) (*core.PageRan
 			next[v] = opt.RandomJump + (1-opt.RandomJump)*sum
 		})
 		pr, next = next, pr
+		sp.End()
 	}
 	return &core.PageRankResult{Ranks: pr,
 		Stats: core.RunStats{WallSeconds: time.Since(start).Seconds(), Iterations: opt.Iterations}}, nil

@@ -76,8 +76,13 @@ func (e *Engine) runJob(job *Job, exec core.Exec) (*Result, core.RunStats, error
 	if e.workers > 0 {
 		job.Workers = e.workers
 	}
+	job.Tracer = exec.Tracer()
 	if exec.Cluster != nil {
-		c, err := e.newCluster(*exec.Cluster)
+		cfg := *exec.Cluster
+		if cfg.Trace == nil {
+			cfg.Trace = exec.Trace
+		}
+		c, err := e.newCluster(cfg)
 		if err != nil {
 			return nil, core.RunStats{}, err
 		}

@@ -19,6 +19,7 @@ import (
 	"graphmaze/internal/cluster"
 	"graphmaze/internal/graph"
 	"graphmaze/internal/par"
+	"graphmaze/internal/trace"
 )
 
 // workersPerNode is Giraph's effective parallelism per node: memory limits
@@ -112,6 +113,9 @@ type Job struct {
 	Workers int
 	// Cluster, when non-nil, runs distributed over a 1-D partition.
 	Cluster *cluster.Cluster
+	// Tracer, when non-nil, receives one span per superstep (active
+	// vertices, messages, peak buffered bytes) plus message counters.
+	Tracer *trace.Tracer
 }
 
 type envelope struct {
@@ -287,6 +291,12 @@ func Run(job *Job) (*Result, error) {
 		})
 	}
 
+	// Per-superstep observability: active-vertex and message counters plus
+	// one span per superstep (real-time locally, virtual on a cluster).
+	tr := job.Tracer
+	activeCounter := tr.Counter("giraph.active_vertices")
+	msgCounter := tr.Counter("giraph.messages")
+
 	var peakBuffered int64
 	var supersteps int
 	for {
@@ -304,6 +314,15 @@ func Run(job *Job) (*Result, error) {
 		if len(activeList) == 0 {
 			break
 		}
+		activeCounter.Add(0, int64(len(activeList)))
+		var stepSpan *trace.Span
+		var stepVirtualStart float64
+		if job.Cluster != nil {
+			stepVirtualStart = job.Cluster.VirtualSeconds()
+		} else {
+			stepSpan = tr.Begin("giraph.superstep", "superstep").Arg("superstep", float64(supersteps))
+		}
+		var stepMsgs, stepPeakBuffered int64
 		rt.nextInbox = make([][]any, n)
 
 		chunkSize := (len(activeList) + split - 1) / split
@@ -356,14 +375,19 @@ func Run(job *Job) (*Result, error) {
 			} else {
 				computeSlice(chunk, 0)
 			}
-			if buffered := rt.bufferedBytes.Load(); buffered > peakBuffered {
+			buffered := rt.bufferedBytes.Load()
+			if buffered > peakBuffered {
 				peakBuffered = buffered
+			}
+			if buffered > stepPeakBuffered {
+				stepPeakBuffered = buffered
 			}
 			// Flush: build the next inbox from the staged envelopes.
 			if job.Combiner != nil {
 				for _, m := range rt.stagingMap {
 					for to, msg := range m {
 						rt.nextInbox[to] = append(rt.nextInbox[to], msg)
+						stepMsgs++
 					}
 				}
 				rt.stagingMap = nil
@@ -372,9 +396,25 @@ func Run(job *Job) (*Result, error) {
 					for _, env := range worker {
 						rt.nextInbox[env.to] = append(rt.nextInbox[env.to], env.msg)
 					}
+					stepMsgs += int64(len(worker))
 				}
 				rt.staging = nil
 			}
+		}
+		msgCounter.Add(0, stepMsgs)
+		if stepSpan != nil {
+			stepSpan.Arg("active", float64(len(activeList))).
+				Arg("messages", float64(stepMsgs)).
+				Arg("buffered_bytes", float64(stepPeakBuffered)).End()
+		} else if job.Cluster != nil {
+			job.Tracer.RecordVirtual(trace.PidEngine, "giraph.superstep",
+				fmt.Sprintf("superstep %d", supersteps),
+				stepVirtualStart, job.Cluster.VirtualSeconds()-stepVirtualStart,
+				map[string]float64{
+					"active":         float64(len(activeList)),
+					"messages":       float64(stepMsgs),
+					"buffered_bytes": float64(stepPeakBuffered),
+				})
 		}
 		inbox = rt.nextInbox
 		supersteps++

@@ -59,12 +59,17 @@ func (e *Engine) PageRank(g *graph.CSR, opt core.PageRankOptions) (*core.PageRan
 	}
 	in := g.Transpose()
 	spec := pageRankSpec(opt)
+	spec.Tracer = opt.Exec.Tracer()
 	if opt.Exec.Cluster == nil {
 		res, secs := measure(func() runResult[float64] { return runLocal(g, in, spec) })
 		return &core.PageRankResult{Ranks: res.vals,
 			Stats: core.RunStats{WallSeconds: secs, Iterations: res.rounds}}, nil
 	}
-	c, err := newCluster(*opt.Exec.Cluster)
+	cfg := *opt.Exec.Cluster
+	if cfg.Trace == nil {
+		cfg.Trace = opt.Exec.Trace
+	}
+	c, err := newCluster(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -163,6 +168,7 @@ func (e *Engine) BFS(g *graph.CSR, opt core.BFSOptions) (*core.BFSResult, error)
 	}
 	in := g.Transpose()
 	spec := bfsSpec(opt.Source)
+	spec.Tracer = opt.Exec.Tracer()
 	finish := func(res runResult[int32], stats core.RunStats) *core.BFSResult {
 		dist := make([]int32, len(res.vals))
 		for i, v := range res.vals {
@@ -178,7 +184,11 @@ func (e *Engine) BFS(g *graph.CSR, opt core.BFSOptions) (*core.BFSResult, error)
 		res, secs := measure(func() runResult[int32] { return runLocal(g, in, spec) })
 		return finish(res, core.RunStats{WallSeconds: secs, Iterations: res.rounds}), nil
 	}
-	c, err := newCluster(*opt.Exec.Cluster)
+	cfg := *opt.Exec.Cluster
+	if cfg.Trace == nil {
+		cfg.Trace = opt.Exec.Trace
+	}
+	c, err := newCluster(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@ package graphlab
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -16,6 +17,7 @@ import (
 	"graphmaze/internal/cluster"
 	"graphmaze/internal/graph"
 	"graphmaze/internal/par"
+	"graphmaze/internal/trace"
 )
 
 // Activation says which vertices a program wants scheduled next round.
@@ -51,6 +53,9 @@ type Spec[V, G any] struct {
 	InitialActive []uint32
 	// ValueBytes models the wire size of V for ghost synchronization.
 	ValueBytes int
+	// Tracer, when non-nil, receives one span per sweep round with the
+	// number of vertices whose Apply changed a value.
+	Tracer *trace.Tracer
 }
 
 // runResult carries the final vertex values and round count.
@@ -89,6 +94,7 @@ func runLocal[V, G any](g *graph.CSR, in *graph.CSR, spec Spec[V, G]) runResult[
 			break
 		}
 		rounds++
+		sweepSpan := spec.Tracer.Begin("graphlab.sweep", "sweep").Arg("round", float64(rounds))
 		nextActive := bitvec.New(n)
 		var activity int32
 		var mu sync.Mutex
@@ -147,6 +153,7 @@ func runLocal[V, G any](g *graph.CSR, in *graph.CSR, spec Spec[V, G]) runResult[
 		for _, p := range allPending {
 			vals[p.id] = p.val
 		}
+		sweepSpan.Arg("changed", float64(len(allPending))).End()
 		active = nextActive
 		anyActive = activity == 1
 	}
@@ -264,6 +271,7 @@ func runCluster[V, G any](g *graph.CSR, in *graph.CSR, spec Spec[V, G], c *clust
 		staged := make([]V, n)
 		copy(staged, vals)
 		nextAny := false
+		roundStart := c.VirtualSeconds()
 		err := c.RunPhase(func(node int) error {
 			lo, hi := part.Range(node)
 			for v := lo; v < hi; v++ {
@@ -322,6 +330,15 @@ func runCluster[V, G any](g *graph.CSR, in *graph.CSR, spec Spec[V, G], c *clust
 		if err != nil {
 			return runResult[V]{}, err
 		}
+		var changedCount float64
+		for _, ch := range changed {
+			if ch {
+				changedCount++
+			}
+		}
+		spec.Tracer.RecordVirtual(trace.PidEngine, "graphlab.sweep",
+			fmt.Sprintf("sweep %d", rounds), roundStart, c.VirtualSeconds()-roundStart,
+			map[string]float64{"changed": changedCount})
 		copy(vals, staged)
 		active = nextActive
 		anyActive = nextAny

@@ -64,7 +64,7 @@ func Figure3(opt Options) error {
 			}
 			row := []string{ds}
 			for _, e := range engs {
-				m := runOne(e, algo, in, 1, opt.Iterations)
+				m := runOne(opt, e, algo, in, 1, opt.Iterations)
 				if m.err != nil {
 					row = append(row, "err")
 					continue
@@ -95,7 +95,7 @@ func Figure3(opt Options) error {
 		}
 		row := []string{ds}
 		for _, e := range engs {
-			m := runOne(e, CF, in, 1, opt.Iterations)
+			m := runOne(opt, e, CF, in, 1, opt.Iterations)
 			if m.err != nil {
 				row = append(row, "err")
 				continue
@@ -161,7 +161,7 @@ func Figure4(opt Options) error {
 					row = append(row, "non-sq")
 					continue
 				}
-				m := runOne(e, algo, in, n, opt.Iterations)
+				m := runOne(opt, e, algo, in, n, opt.Iterations)
 				if m.err != nil {
 					row = append(row, "err")
 					continue
@@ -215,7 +215,7 @@ func Figure5(opt Options) error {
 				row = append(row, "n/a")
 				continue
 			}
-			m := runOne(e, r.algo, in, r.nodes, opt.Iterations)
+			m := runOne(opt, e, r.algo, in, r.nodes, opt.Iterations)
 			if m.err != nil {
 				row = append(row, "OOM/err")
 				continue
@@ -251,7 +251,7 @@ func Figure6(opt Options) error {
 		var labels []string
 		var reports []metrics.Report
 		for _, e := range engs {
-			rep, err := reportFor(e, algo, in, 4, opt.Iterations)
+			rep, err := reportFor(opt, e, algo, in, 4, opt.Iterations)
 			if err != nil {
 				continue
 			}
@@ -370,8 +370,8 @@ func TriangleBitvectorAblation(opt Options) error {
 	if err != nil {
 		return err
 	}
-	with := runOne(native.New(), TC, in, 1, 1)
-	without := runOne(native.NewTuned(native.Tuning{ContribCaching: true, Compression: true, Overlap: true}), TC, in, 1, 1)
+	with := runOne(opt, native.New(), TC, in, 1, 1)
+	without := runOne(opt, native.NewTuned(native.Tuning{ContribCaching: true, Compression: true, Overlap: true}), TC, in, 1, 1)
 	if with.err != nil {
 		return with.err
 	}
@@ -406,11 +406,11 @@ func GiraphPhasedSupersteps(opt Options) error {
 		{"monolithic supersteps", giraph.NewUnsplit()},
 		{"100 phased supersteps", giraph.New()},
 	} {
-		tcRep, err := reportFor(cfg.e, TC, in, 4, opt.Iterations)
+		tcRep, err := reportFor(opt, cfg.e, TC, in, 4, opt.Iterations)
 		if err != nil {
 			return err
 		}
-		cfRep, err := reportFor(cfg.e, CF, in, 4, opt.Iterations)
+		cfRep, err := reportFor(opt, cfg.e, CF, in, 4, opt.Iterations)
 		if err != nil {
 			return err
 		}
@@ -501,11 +501,11 @@ func GiraphRoadmap(opt Options) error {
 	}
 	tw := &tableWriter{header: []string{"configuration", "PR time/iter", "PR bytes", "CPU util %", "BFS time"}}
 	for _, cfg := range configs {
-		pr := runOne(cfg.e, PR, in, 4, opt.Iterations)
+		pr := runOne(opt, cfg.e, PR, in, 4, opt.Iterations)
 		if pr.err != nil {
 			return pr.err
 		}
-		bfs := runOne(cfg.e, BFS, in, 4, opt.Iterations)
+		bfs := runOne(opt, cfg.e, BFS, in, 4, opt.Iterations)
 		if bfs.err != nil {
 			return bfs.err
 		}

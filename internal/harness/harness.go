@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -24,6 +25,7 @@ import (
 	"graphmaze/internal/native"
 	"graphmaze/internal/par"
 	"graphmaze/internal/socialite"
+	"graphmaze/internal/trace"
 )
 
 // Options configures an experiment run.
@@ -39,6 +41,35 @@ type Options struct {
 	Iterations int
 	// Quick shrinks inputs for smoke-testing.
 	Quick bool
+	// Trace, when non-nil, receives spans and counters from every run: the
+	// harness attaches it to each engine execution (and its simulated
+	// cluster) and points the par scheduler's counters at it for the
+	// duration of Run.
+	Trace *trace.Tracer
+	// JSON, when non-nil, receives a machine-readable report of every
+	// measurement (and the trace summary, if tracing) after the experiment
+	// completes.
+	JSON io.Writer
+
+	// rec collects RunRecords when Run wants a machine-readable report.
+	rec *[]RunRecord
+}
+
+// RunRecord is one measurement in the machine-readable report.
+type RunRecord struct {
+	Engine  string          `json:"engine"`
+	Algo    string          `json:"algo"`
+	Nodes   int             `json:"nodes"`
+	Seconds float64         `json:"seconds"`
+	Error   string          `json:"error,omitempty"`
+	Report  *metrics.Report `json:"report,omitempty"`
+}
+
+// jsonReport is the top-level machine-readable experiment report.
+type jsonReport struct {
+	Experiment string         `json:"experiment"`
+	Runs       []RunRecord    `json:"runs"`
+	Trace      *trace.Summary `json:"trace,omitempty"`
 }
 
 func (o Options) withDefaults() Options {
@@ -75,7 +106,36 @@ func Experiments() []Experiment {
 }
 
 // Run executes the experiment with the given id ("all" runs everything).
+// With a tracer in the options, the par scheduler's counters point at it
+// for the duration, and every engine execution records spans into it; with
+// a JSON writer, a machine-readable report follows the tables.
 func Run(id string, opt Options) error {
+	var records []RunRecord
+	if opt.JSON != nil {
+		opt.rec = &records
+	}
+	if opt.Trace != nil {
+		par.SetSchedCounters(opt.Trace.Sched())
+		defer par.SetSchedCounters(nil)
+	}
+	if err := runExperiments(id, opt); err != nil {
+		return err
+	}
+	if opt.JSON != nil {
+		rep := jsonReport{Experiment: id, Runs: records, Trace: trace.Summarize(opt.Trace)}
+		if rep.Runs == nil {
+			rep.Runs = []RunRecord{}
+		}
+		enc := json.NewEncoder(opt.JSON)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runExperiments(id string, opt Options) error {
 	if id == "all" {
 		for _, exp := range Experiments() {
 			fmt.Fprintf(opt.Out, "==== %s — %s ====\n", exp.ID, exp.Title)
@@ -177,8 +237,27 @@ type measurement struct {
 // datasets were sized so the hungriest framework used >50% of a node
 // (§5.4): capacity scales with the input rather than staying at the
 // paper's literal 64 GB.
-func runOne(e core.Engine, algo Algo, in inputs, nodes, iterations int) measurement {
-	var exec core.Exec
+func runOne(opt Options, e core.Engine, algo Algo, in inputs, nodes, iterations int) measurement {
+	sp := opt.Trace.Begin("harness.run", fmt.Sprintf("%s %s", e.Name(), algo)).
+		Arg("nodes", float64(nodes))
+	m := runMeasured(opt, e, algo, in, nodes, iterations)
+	sp.End()
+	if opt.rec != nil {
+		rec := RunRecord{Engine: e.Name(), Algo: algo.String(), Nodes: nodes, Seconds: m.seconds}
+		if m.err != nil {
+			rec.Error = m.err.Error()
+		}
+		if m.report.SimulatedSeconds > 0 {
+			r := m.report
+			rec.Report = &r
+		}
+		*opt.rec = append(*opt.rec, rec)
+	}
+	return m
+}
+
+func runMeasured(opt Options, e core.Engine, algo Algo, in inputs, nodes, iterations int) measurement {
+	exec := core.Exec{Trace: opt.Trace}
 	if nodes > 1 {
 		var inputBytes int64
 		switch algo {
@@ -202,7 +281,7 @@ func runOne(e core.Engine, algo Algo, in inputs, nodes, iterations int) measurem
 			multiplier = 128
 		}
 		memPerNode := multiplier * inputBytes / int64(nodes)
-		exec = core.Exec{Cluster: &cluster.Config{Nodes: nodes, MemoryPerNode: memPerNode}}
+		exec.Cluster = &cluster.Config{Nodes: nodes, MemoryPerNode: memPerNode, Trace: opt.Trace}
 	}
 	switch algo {
 	case PR:

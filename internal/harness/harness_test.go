@@ -2,8 +2,11 @@ package harness
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"graphmaze/internal/trace"
 )
 
 func runQuick(t *testing.T, id string) string {
@@ -168,5 +171,79 @@ func TestIsSquare(t *testing.T) {
 		if isSquare(n) != want {
 			t.Errorf("isSquare(%d) = %v", n, !want)
 		}
+	}
+}
+
+// TestRunJSONAndTrace: with a tracer and JSON sink attached, Run emits a
+// parseable machine report whose runs and trace summary are populated, and
+// the tracer holds engine spans plus scheduler counters.
+func TestRunJSONAndTrace(t *testing.T) {
+	tr := trace.New()
+	var table, js bytes.Buffer
+	err := Run("table5", Options{Out: &table, Quick: true, Iterations: 2, Trace: tr, JSON: &js})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var rep struct {
+		Experiment string `json:"experiment"`
+		Runs       []struct {
+			Engine  string  `json:"engine"`
+			Algo    string  `json:"algo"`
+			Seconds float64 `json:"seconds"`
+		} `json:"runs"`
+		Trace *trace.Summary `json:"trace"`
+	}
+	if err := json.Unmarshal(js.Bytes(), &rep); err != nil {
+		t.Fatalf("JSON report does not parse: %v\n%s", err, js.String())
+	}
+	if rep.Experiment != "table5" {
+		t.Errorf("experiment = %q", rep.Experiment)
+	}
+	if len(rep.Runs) == 0 {
+		t.Fatal("JSON report has no runs")
+	}
+	for _, r := range rep.Runs {
+		if r.Engine == "" || r.Algo == "" {
+			t.Errorf("incomplete run record %+v", r)
+		}
+	}
+	if rep.Trace == nil {
+		t.Fatal("JSON report missing trace summary")
+	}
+	if rep.Trace.Spans == 0 {
+		t.Error("trace summary has no spans")
+	}
+
+	// Every run is wrapped in a harness.run span, and the engines under
+	// table5 each contribute their own span category.
+	cats := map[string]bool{}
+	for _, ev := range tr.Events() {
+		cats[ev.Cat] = true
+	}
+	for _, want := range []string{"harness.run", "giraph.superstep", "graphlab.sweep", "combblas.spmv", "galois.round", "socialite.rule"} {
+		if !cats[want] {
+			t.Errorf("trace missing %q spans (have %v)", want, cats)
+		}
+	}
+
+	// The par scheduler counters were attached for the duration of the run.
+	if tr.Sched().Items.Value() == 0 {
+		t.Error("scheduler counters saw no items")
+	}
+
+	// The Chrome exporter accepts the whole trace.
+	var chrome bytes.Buffer
+	if err := tr.WriteChromeTrace(&chrome); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace does not parse: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("chrome trace is empty")
 	}
 }

@@ -59,7 +59,7 @@ func Table4(opt Options) error {
 
 	tw := &tableWriter{header: []string{"Algorithm", "1-node limit", "achieved", "eff%", "4-node limit", "eff%"}}
 	for _, algo := range Algos() {
-		single := runOne(eng, algo, in, 1, opt.Iterations)
+		single := runOne(opt, eng, algo, in, 1, opt.Iterations)
 		if single.err != nil {
 			return single.err
 		}
@@ -75,7 +75,7 @@ func Table4(opt Options) error {
 		}
 		eff := 100 * achieved / peak
 
-		multi := runOne(eng, algo, in, 4, opt.Iterations)
+		multi := runOne(opt, eng, algo, in, 4, opt.Iterations)
 		if multi.err != nil {
 			return multi.err
 		}
@@ -122,7 +122,7 @@ func slowdownTable(opt Options, nodes int, seeds []int64, scale int) error {
 			return err
 		}
 		for _, algo := range Algos() {
-			base := runOne(engs[0], algo, in, nodes, opt.Iterations)
+			base := runOne(opt, engs[0], algo, in, nodes, opt.Iterations)
 			if base.err != nil {
 				return fmt.Errorf("native %v: %w", algo, base.err)
 			}
@@ -130,7 +130,7 @@ func slowdownTable(opt Options, nodes int, seeds []int64, scale int) error {
 				if nodes > 1 && !e.Capabilities().MultiNode {
 					continue
 				}
-				m := runOne(e, algo, in, nodes, opt.Iterations)
+				m := runOne(opt, e, algo, in, nodes, opt.Iterations)
 				if m.err != nil {
 					continue // recorded as a gap (e.g. CombBLAS OOM)
 				}
@@ -222,11 +222,11 @@ func Table7(opt Options) error {
 
 	tw := &tableWriter{header: []string{"Algorithm", "Before", "After", "Speedup"}}
 	for _, algo := range []Algo{PR, TC} {
-		b := runOne(before, algo, in, 4, opt.Iterations)
+		b := runOne(opt, before, algo, in, 4, opt.Iterations)
 		if b.err != nil {
 			return b.err
 		}
-		a := runOne(after, algo, in, 4, opt.Iterations)
+		a := runOne(opt, after, algo, in, 4, opt.Iterations)
 		if a.err != nil {
 			return a.err
 		}
@@ -239,7 +239,7 @@ func Table7(opt Options) error {
 }
 
 // reportFor is a convenience for experiments needing a raw cluster run.
-func reportFor(e core.Engine, algo Algo, in inputs, nodes, iterations int) (metrics.Report, error) {
-	m := runOne(e, algo, in, nodes, iterations)
+func reportFor(opt Options, e core.Engine, algo Algo, in inputs, nodes, iterations int) (metrics.Report, error) {
+	m := runOne(opt, e, algo, in, nodes, iterations)
 	return m.report, m.err
 }

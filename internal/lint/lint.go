@@ -2,8 +2,8 @@
 // that guards the invariants our concurrent engine runtimes rely on but the
 // generic Go toolchain cannot check: no mixed atomic/plain access, no
 // fire-and-forget goroutines in engine code, no panics in library paths,
-// no silent 64-bit → 32-bit index truncation, and doc comments on every
-// exported engine API.
+// no silent 64-bit → 32-bit index truncation, no trace spans dropped by a
+// missed End(), and doc comments on every exported engine API.
 //
 // The analyzer is built only on the standard library (go/parser, go/ast,
 // go/types): Load parses and type-checks the module from source, Run applies
@@ -69,6 +69,7 @@ func DefaultRules() []Rule {
 		&AtomicRule{},
 		&GoroutineRule{},
 		&PanicRule{},
+		&SpanRule{},
 		&TruncateRule{},
 		&DocRule{},
 	}

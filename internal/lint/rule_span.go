@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpanRule flags trace spans that are begun but not reliably ended: a span
+// value that is never End()ed is silently dropped from the trace (End is
+// what records it), and one ended only inside a conditional loses exactly
+// the interesting runs — early exits and error paths. The rule tracks
+// `s := ...` definitions whose type is a named "Span" (with an End method)
+// and requires an End() call either deferred or in the same statement list
+// as the definition; spans that escape the function (returned, passed as an
+// argument, stored) are the caller's responsibility and are skipped.
+type SpanRule struct{}
+
+// Name implements Rule.
+func (*SpanRule) Name() string { return "span" }
+
+// Doc implements Rule.
+func (*SpanRule) Doc() string {
+	return "trace spans must be End()ed on every path (defer it or End in the defining block)"
+}
+
+// spanUse accumulates what one function does with one span variable.
+type spanUse struct {
+	declPos   token.Pos
+	name      string
+	declList  *[]ast.Stmt // statement list containing the definition
+	endSame   bool        // End() as a statement of that same list
+	endNested bool        // End() somewhere deeper
+	deferred  bool        // defer s.End() anywhere
+	escapes   bool        // returned, passed, or stored: out of scope
+}
+
+// Check implements Rule.
+func (r *SpanRule) Check(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			r.checkFunc(p, fn, report)
+		}
+	}
+}
+
+func (r *SpanRule) checkFunc(p *Package, fn *ast.FuncDecl, report func(pos token.Pos, format string, args ...any)) {
+	spans := make(map[types.Object]*spanUse)
+
+	// Pass 1: find span definitions and the statement list each lives in.
+	forEachStmtList(fn.Body, func(list *[]ast.Stmt) {
+		for _, stmt := range *list {
+			as, ok := stmt.(*ast.AssignStmt)
+			if !ok || as.Tok != token.DEFINE {
+				continue
+			}
+			for _, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := p.Info.Defs[id]
+				if obj == nil || !isSpanType(obj.Type()) {
+					continue
+				}
+				spans[obj] = &spanUse{declPos: id.Pos(), name: id.Name, declList: list}
+			}
+		}
+	})
+	if len(spans) == 0 {
+		return
+	}
+
+	// Pass 2: classify every End call by the statement list it appears in.
+	forEachStmtList(fn.Body, func(list *[]ast.Stmt) {
+		for _, stmt := range *list {
+			var call *ast.CallExpr
+			deferred := false
+			switch s := stmt.(type) {
+			case *ast.ExprStmt:
+				call, _ = s.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = s.Call
+				deferred = true
+			}
+			if call == nil {
+				continue
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "End" {
+				continue
+			}
+			use := spans[resolveBase(p, sel.X)]
+			if use == nil {
+				continue
+			}
+			switch {
+			case deferred:
+				use.deferred = true
+			case list == use.declList:
+				use.endSame = true
+			default:
+				use.endNested = true
+			}
+		}
+	})
+
+	// Pass 3: escape analysis — any use other than a method call on the
+	// span itself hands responsibility elsewhere.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range e.Results {
+				markEscape(p, spans, res)
+			}
+		case *ast.CallExpr:
+			for _, arg := range e.Args {
+				markEscape(p, spans, arg)
+			}
+		case *ast.AssignStmt:
+			if e.Tok != token.DEFINE {
+				for _, rhs := range e.Rhs {
+					markEscape(p, spans, rhs)
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range e.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				markEscape(p, spans, elt)
+			}
+		case *ast.SendStmt:
+			markEscape(p, spans, e.Value)
+		}
+		return true
+	})
+
+	for _, use := range spans {
+		if use.escapes || use.deferred || use.endSame {
+			continue
+		}
+		if use.endNested {
+			report(use.declPos, "span %s is End()ed only on some paths: defer %s.End() or End it in the defining block", use.name, use.name)
+		} else {
+			report(use.declPos, "span %s is never End()ed, so it is never recorded", use.name)
+		}
+	}
+}
+
+// forEachStmtList visits every statement list in the body: block bodies
+// plus switch/select case clauses.
+func forEachStmtList(body *ast.BlockStmt, visit func(list *[]ast.Stmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			visit(&b.List)
+		case *ast.CaseClause:
+			visit(&b.Body)
+		case *ast.CommClause:
+			visit(&b.Body)
+		}
+		return true
+	})
+}
+
+// resolveBase unwraps a selector/call chain (s.Arg(...).End) to the base
+// identifier's object, or nil.
+func resolveBase(p *Package, expr ast.Expr) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			if obj := p.Info.Uses[e]; obj != nil {
+				return obj
+			}
+			return p.Info.Defs[e]
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.CallExpr:
+			expr = e.Fun
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// markEscape marks expr's object as escaping when it is a tracked span
+// identifier (possibly behind parens). Method-call chains rooted at the
+// span (s.Arg(1)) do not reach here because only whole argument/return
+// expressions are marked.
+func markEscape(p *Package, spans map[types.Object]*spanUse, expr ast.Expr) {
+	for {
+		pe, ok := expr.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		expr = pe.X
+	}
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		return
+	}
+	if use := spans[obj]; use != nil {
+		use.escapes = true
+	}
+}
+
+// isSpanType reports whether t (possibly a pointer) is a named type "Span"
+// carrying an End method — the shape of trace.Span without importing it
+// (fixtures and future span types match structurally).
+func isSpanType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Span" {
+		return false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == "End" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// spanFixturePrelude defines a minimal structural stand-in for trace.Span:
+// fixtures type-check against the standard library only, and the rule
+// matches any named Span with an End method.
+const spanFixturePrelude = `package fix
+
+type Tracer struct{}
+
+func (t *Tracer) Begin(cat, name string) *Span { return &Span{} }
+
+type Span struct{}
+
+func (s *Span) Arg(k string, v float64) *Span { return s }
+func (s *Span) End()                          {}
+
+`
+
+func TestSpanRuleFlagsNeverEnded(t *testing.T) {
+	p := loadFixture(t, "internal/fix", map[string]string{"a.go": spanFixturePrelude + `func leak(tr *Tracer) {
+	sp := tr.Begin("cat", "work")
+	sp.Arg("k", 1)
+}
+`})
+	wantFinding(t, runRule(t, p, &SpanRule{}), "internal/fix/a.go", 13, "span")
+}
+
+func TestSpanRuleFlagsConditionalEnd(t *testing.T) {
+	p := loadFixture(t, "internal/fix", map[string]string{"a.go": spanFixturePrelude + `func maybe(tr *Tracer, ok bool) {
+	sp := tr.Begin("cat", "work")
+	if ok {
+		sp.End()
+	}
+}
+`})
+	findings := runRule(t, p, &SpanRule{})
+	wantFinding(t, findings, "internal/fix/a.go", 13, "span")
+	if msg := findings[0].Msg; msg == "" || !strings.Contains(msg, "some paths") {
+		t.Fatalf("conditional End should mention paths, got %q", msg)
+	}
+}
+
+func TestSpanRuleAcceptsSameBlockEnd(t *testing.T) {
+	p := loadFixture(t, "internal/fix", map[string]string{"a.go": spanFixturePrelude + `func clean(tr *Tracer, ok bool) {
+	sp := tr.Begin("cat", "work")
+	if ok {
+		sp.Arg("flag", 1)
+	}
+	sp.Arg("k", 2).End()
+}
+`})
+	if got := runRule(t, p, &SpanRule{}); len(got) != 0 {
+		t.Fatalf("same-block chained End should be clean, got %v", got)
+	}
+}
+
+func TestSpanRuleAcceptsDeferredEnd(t *testing.T) {
+	p := loadFixture(t, "internal/fix", map[string]string{"a.go": spanFixturePrelude + `func deferred(tr *Tracer, ok bool) {
+	sp := tr.Begin("cat", "work")
+	defer sp.End()
+	if ok {
+		return
+	}
+	sp.Arg("k", 1)
+}
+`})
+	if got := runRule(t, p, &SpanRule{}); len(got) != 0 {
+		t.Fatalf("deferred End should be clean, got %v", got)
+	}
+}
+
+func TestSpanRuleAcceptsLoopBodySpans(t *testing.T) {
+	// The engine idiom: a span per iteration, begun and ended inside the
+	// loop body — same statement list, no finding.
+	p := loadFixture(t, "internal/fix", map[string]string{"a.go": spanFixturePrelude + `func loop(tr *Tracer) {
+	for i := 0; i < 3; i++ {
+		sp := tr.Begin("cat", "iter").Arg("i", float64(i))
+		sp.Arg("j", 1)
+		sp.End()
+	}
+}
+`})
+	if got := runRule(t, p, &SpanRule{}); len(got) != 0 {
+		t.Fatalf("loop-body span should be clean, got %v", got)
+	}
+}
+
+func TestSpanRuleSkipsEscapingSpans(t *testing.T) {
+	p := loadFixture(t, "internal/fix", map[string]string{"a.go": spanFixturePrelude + `func escapes(tr *Tracer) *Span {
+	sp := tr.Begin("cat", "handoff")
+	return sp
+}
+
+func hand(s *Span) {}
+
+func passes(tr *Tracer) {
+	sp := tr.Begin("cat", "handoff")
+	hand(sp)
+}
+`})
+	if got := runRule(t, p, &SpanRule{}); len(got) != 0 {
+		t.Fatalf("escaping spans are the caller's job, got %v", got)
+	}
+}
+
+func TestSpanRuleIgnoreDirective(t *testing.T) {
+	p := loadFixture(t, "internal/fix", map[string]string{"a.go": spanFixturePrelude + `func intentional(tr *Tracer) {
+	//lint:ignore span recorded by a helper not visible to the analyzer
+	sp := tr.Begin("cat", "work")
+	sp.Arg("k", 1)
+}
+`})
+	if got := runRule(t, p, &SpanRule{}); len(got) != 0 {
+		t.Fatalf("directive should suppress the finding, got %v", got)
+	}
+}

@@ -7,6 +7,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 )
@@ -52,17 +53,29 @@ func (r Report) MemoryFraction() float64 {
 	return float64(r.MemoryFootprintBytes) / float64(r.MemoryPerNode)
 }
 
-// String renders a compact single-line summary.
+// String renders a compact single-line summary. The peak-bandwidth rate is
+// formatted as the float it is, not truncated through an integer byte
+// count.
 func (r Report) String() string {
-	return fmt.Sprintf("nodes=%d time=%.4gs cpu=%.0f%% sent=%s peakBW=%s/s mem=%s",
+	return fmt.Sprintf("nodes=%d time=%.4gs cpu=%.0f%% sent=%s peakBW=%s mem=%s",
 		r.Nodes, r.SimulatedSeconds, 100*r.CPUUtilization,
-		FormatBytes(r.BytesSent), FormatBytes(int64(r.PeakNetworkBandwidth)),
+		FormatBytes(r.BytesSent), FormatRate(r.PeakNetworkBandwidth),
 		FormatBytes(r.MemoryFootprintBytes))
 }
 
 // FormatBytes renders a byte count with a binary-ish unit suffix.
+// Negative counts (deltas from a Merge, anomalies worth surfacing) format
+// as the signed magnitude rather than falling through to the raw value.
 func FormatBytes(b int64) string {
 	const unit = 1024
+	if b < 0 {
+		if b == math.MinInt64 {
+			// -b would overflow; one byte of drift at this magnitude is
+			// beyond any modeled quantity, so format via float.
+			return fmt.Sprintf("-%.1fEB", -float64(b)/float64(1<<60))
+		}
+		return "-" + FormatBytes(-b)
+	}
 	if b < unit {
 		return fmt.Sprintf("%dB", b)
 	}
@@ -72,6 +85,26 @@ func FormatBytes(b int64) string {
 		exp++
 	}
 	return fmt.Sprintf("%.1f%cB", float64(b)/float64(div), "KMGTPE"[exp])
+}
+
+// FormatRate renders a bytes/second rate with a unit suffix, keeping the
+// float precision an int64 round-trip would destroy.
+func FormatRate(bytesPerSec float64) string {
+	neg := ""
+	if bytesPerSec < 0 {
+		neg = "-"
+		bytesPerSec = -bytesPerSec
+	}
+	const unit = 1024
+	if bytesPerSec < unit {
+		return fmt.Sprintf("%s%.3gB/s", neg, bytesPerSec)
+	}
+	div, exp := float64(unit), 0
+	for bytesPerSec/div >= unit && exp < 5 {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%s%.1f%cB/s", neg, bytesPerSec/div, "KMGTPE"[exp])
 }
 
 // Collector accumulates per-phase observations during a cluster run. It is
@@ -137,6 +170,49 @@ func (c *Collector) RecordMemory(node int, bytes int64) {
 	}
 }
 
+// Merge folds other's observations into c: times, traffic, and busy
+// thread-seconds add; peak bandwidth takes the max; per-node memory
+// high-water marks take the per-node max. Use it to aggregate per-node (or
+// per-shard) collectors that accumulated independently instead of sharing
+// one mutex across all nodes. Merging a collector into itself or merging
+// nil is a no-op. Safe for concurrent use, but other must not be receiving
+// observations during the merge.
+func (c *Collector) Merge(other *Collector) {
+	if other == nil || other == c {
+		return
+	}
+	other.mu.Lock()
+	simSeconds := other.simSeconds
+	computeSec := other.computeSec
+	networkSec := other.networkSec
+	busyThreadS := other.busyThreadS
+	bytesSent := other.bytesSent
+	messagesSent := other.messagesSent
+	peakBW := other.peakBW
+	memHighWater := make(map[int]int64, len(other.memHighWater))
+	for node, hw := range other.memHighWater {
+		memHighWater[node] = hw
+	}
+	other.mu.Unlock()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.simSeconds += simSeconds
+	c.computeSec += computeSec
+	c.networkSec += networkSec
+	c.busyThreadS += busyThreadS
+	c.bytesSent += bytesSent
+	c.messagesSent += messagesSent
+	if peakBW > c.peakBW {
+		c.peakBW = peakBW
+	}
+	for node, hw := range memHighWater {
+		if hw > c.memHighWater[node] {
+			c.memHighWater[node] = hw
+		}
+	}
+}
+
 // Report finalizes the collected observations.
 func (c *Collector) Report() Report {
 	c.mu.Lock()
@@ -178,6 +254,10 @@ func FormatTable(labels []string, reports []Report, refBandwidth float64) string
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-12s %12s %14s %12s %14s\n", "framework", "CPU util %", "peak net BW %", "memory %", "bytes sent %")
 	for i, r := range reports {
+		label := "?"
+		if i < len(labels) {
+			label = labels[i]
+		}
 		bwPct, memPct, sentPct := 0.0, 0.0, 0.0
 		if refBandwidth > 0 {
 			bwPct = 100 * r.PeakNetworkBandwidth / refBandwidth
@@ -187,7 +267,7 @@ func FormatTable(labels []string, reports []Report, refBandwidth float64) string
 			sentPct = 100 * float64(r.BytesSent) / float64(maxBytes)
 		}
 		fmt.Fprintf(&b, "%-12s %12.1f %14.1f %12.1f %14.1f\n",
-			labels[i], 100*r.CPUUtilization, bwPct, memPct, sentPct)
+			label, 100*r.CPUUtilization, bwPct, memPct, sentPct)
 	}
 	return b.String()
 }

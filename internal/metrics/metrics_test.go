@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -101,6 +102,49 @@ func TestFormatBytes(t *testing.T) {
 	}
 }
 
+func TestFormatBytesNegative(t *testing.T) {
+	cases := map[int64]string{
+		-512:     "-512B",
+		-2048:    "-2.0KB",
+		-5 << 30: "-5.0GB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+	// MinInt64 cannot be negated; it must still format, signed.
+	got := FormatBytes(math.MinInt64)
+	if !strings.HasPrefix(got, "-") || !strings.HasSuffix(got, "EB") {
+		t.Errorf("FormatBytes(MinInt64) = %q", got)
+	}
+}
+
+func TestFormatRate(t *testing.T) {
+	cases := map[float64]string{
+		0:               "0B/s",
+		512.5:           "512B/s",
+		2048:            "2.0KB/s",
+		5.5e9:           "5.1GB/s",
+		-2048:           "-2.0KB/s",
+		1.5 * (1 << 40): "1.5TB/s",
+	}
+	for in, want := range cases {
+		if got := FormatRate(in); got != want {
+			t.Errorf("FormatRate(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestReportStringFractionalBandwidth pins the String fix: a sub-GB/s peak
+// rate must render as a rate, not truncate through an int64 byte count.
+func TestReportStringFractionalBandwidth(t *testing.T) {
+	r := Report{Nodes: 1, PeakNetworkBandwidth: 1536.0}
+	if s := r.String(); !strings.Contains(s, "peakBW=1.5KB/s") {
+		t.Errorf("String() = %q, want peakBW=1.5KB/s", s)
+	}
+}
+
 func TestReportString(t *testing.T) {
 	r := Report{Nodes: 4, SimulatedSeconds: 1.5, CPUUtilization: 0.5, BytesSent: 2048}
 	s := r.String()
@@ -126,5 +170,117 @@ func TestFormatTable(t *testing.T) {
 	lines := strings.Split(strings.TrimSpace(out), "\n")
 	if len(lines) != 3 {
 		t.Errorf("table has %d lines, want header + 2 rows", len(lines))
+	}
+}
+
+// TestFormatTableZeroReference: a zero reference bandwidth must not divide
+// by zero — the bandwidth column reads 0.
+func TestFormatTableZeroReference(t *testing.T) {
+	out := FormatTable([]string{"x"}, []Report{{PeakNetworkBandwidth: 5e9}}, 0)
+	if !strings.Contains(out, "x") {
+		t.Fatalf("table missing row: %q", out)
+	}
+	if strings.Contains(out, "Inf") || strings.Contains(out, "NaN") {
+		t.Errorf("zero-reference table produced Inf/NaN: %q", out)
+	}
+}
+
+// TestFormatTableEmpty: no reports yields just the header.
+func TestFormatTableEmpty(t *testing.T) {
+	out := FormatTable(nil, nil, 1e9)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1 || !strings.Contains(lines[0], "framework") {
+		t.Errorf("empty table = %q", out)
+	}
+}
+
+// TestFormatTableMissingLabels: more reports than labels must not panic;
+// unlabeled rows get a placeholder.
+func TestFormatTableMissingLabels(t *testing.T) {
+	out := FormatTable([]string{"only"}, []Report{{}, {}}, 1e9)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table has %d lines, want 3", len(lines))
+	}
+	if !strings.HasPrefix(lines[2], "?") {
+		t.Errorf("unlabeled row = %q, want ? placeholder", lines[2])
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := NewCollector(4, 8, 1<<30)
+	a.AddPhase(1, 0.75, 0.25, 8)
+	a.AddTraffic(100, 2, 1000)
+	a.RecordMemory(0, 50)
+	a.RecordMemory(1, 500)
+
+	b := NewCollector(4, 8, 1<<30)
+	b.AddPhase(2, 1, 1, 16)
+	b.AddTraffic(300, 1, 4000)
+	b.RecordMemory(0, 200)
+	b.RecordMemory(2, 30)
+
+	a.Merge(b)
+	r := a.Report()
+	if r.SimulatedSeconds != 3 || r.ComputeSeconds != 1.75 || r.NetworkSeconds != 1.25 {
+		t.Errorf("merged times = %+v", r)
+	}
+	if r.BytesSent != 400 || r.MessagesSent != 3 {
+		t.Errorf("merged traffic = %d/%d", r.BytesSent, r.MessagesSent)
+	}
+	if r.PeakNetworkBandwidth != 4000 {
+		t.Errorf("merged peakBW = %v", r.PeakNetworkBandwidth)
+	}
+	// Per-node maxes: node 0 → max(50,200)=200, node 1 → 500, node 2 → 30;
+	// footprint is the overall max.
+	if r.MemoryFootprintBytes != 500 {
+		t.Errorf("merged footprint = %d", r.MemoryFootprintBytes)
+	}
+	// b is untouched.
+	if br := b.Report(); br.BytesSent != 300 {
+		t.Errorf("merge mutated source: %+v", br)
+	}
+}
+
+func TestMergeNilAndSelf(t *testing.T) {
+	c := NewCollector(1, 1, 0)
+	c.AddTraffic(10, 1, 5)
+	c.Merge(nil)
+	c.Merge(c)
+	if r := c.Report(); r.BytesSent != 10 || r.MessagesSent != 1 {
+		t.Errorf("nil/self merge changed totals: %+v", r)
+	}
+}
+
+// TestMergeConcurrent stresses Merge under the race detector: many
+// per-shard collectors merging into one aggregate while it also receives
+// direct observations.
+func TestMergeConcurrent(t *testing.T) {
+	agg := NewCollector(8, 4, 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				shard := NewCollector(8, 4, 0)
+				shard.AddPhase(0.01, 0.01, 0, 0.04)
+				shard.AddTraffic(2, 1, float64(n*100+j))
+				shard.RecordMemory(n, int64(j))
+				agg.Merge(shard)
+				agg.AddTraffic(1, 1, 0)
+			}
+		}(i)
+	}
+	wg.Wait()
+	r := agg.Report()
+	if r.BytesSent != 8*50*3 || r.MessagesSent != 8*50*2 {
+		t.Errorf("concurrent merge lost traffic: %d/%d", r.BytesSent, r.MessagesSent)
+	}
+	if r.PeakNetworkBandwidth != 749 {
+		t.Errorf("peakBW = %v, want 749", r.PeakNetworkBandwidth)
+	}
+	if r.MemoryFootprintBytes != 49 {
+		t.Errorf("footprint = %d, want 49", r.MemoryFootprintBytes)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"graphmaze/internal/core"
 	"graphmaze/internal/graph"
 	"graphmaze/internal/par"
+	"graphmaze/internal/trace"
 )
 
 // BFS implements core.Engine over an undirected (symmetrized) graph,
@@ -25,14 +26,14 @@ func (e *Engine) BFS(g *graph.CSR, opt core.BFSOptions) (*core.BFSResult, error)
 		return e.bfsCluster(g, opt)
 	}
 	start := time.Now()
-	dist, levels := e.bfsLocal(g, opt.Source)
+	dist, levels := e.bfsLocal(g, opt.Source, opt.Exec.Tracer())
 	return &core.BFSResult{
 		Distances: dist,
 		Stats:     core.RunStats{WallSeconds: time.Since(start).Seconds(), Iterations: levels},
 	}, nil
 }
 
-func (e *Engine) bfsLocal(g *graph.CSR, source uint32) ([]int32, int) {
+func (e *Engine) bfsLocal(g *graph.CSR, source uint32, tr *trace.Tracer) ([]int32, int) {
 	n := g.NumVertices
 	dist := make([]int32, n)
 	for i := range dist {
@@ -75,13 +76,17 @@ func (e *Engine) bfsLocal(g *graph.CSR, source uint32) ([]int32, int) {
 
 	for len(frontier) > 0 {
 		level++
+		sp := tr.Begin("native.bfs.level", "bfs level").
+			Arg("level", float64(level)).Arg("frontier", float64(len(frontier)))
 		// Direction optimization: when the frontier's edge volume is a
 		// large fraction of the untraversed graph, scanning unvisited
 		// vertices (bottom-up) touches less memory than expanding the
 		// frontier (top-down).
 		if frontierEdges*3 > remaining {
+			sp.Arg("direction", 1) // bottom-up
 			frontier = bfsBottomUp(g, dist, visited, level)
 		} else {
+			sp.Arg("direction", 0) // top-down
 			frontier = bfsTopDown(g, dist, visited, frontier, level)
 		}
 		remaining -= frontierEdges
@@ -89,6 +94,7 @@ func (e *Engine) bfsLocal(g *graph.CSR, source uint32) ([]int32, int) {
 		for _, v := range frontier {
 			frontierEdges += g.Degree(v)
 		}
+		sp.End()
 	}
 	return dist, int(level)
 }

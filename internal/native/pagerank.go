@@ -12,6 +12,7 @@ import (
 	"graphmaze/internal/core"
 	"graphmaze/internal/graph"
 	"graphmaze/internal/par"
+	"graphmaze/internal/trace"
 )
 
 // PageRank implements core.Engine. g holds out-edges; the kernel builds the
@@ -49,9 +50,11 @@ func (e *Engine) pageRankLocal(g *graph.CSR, opt core.PageRankOptions) ([]float6
 	if e.tuning.ContribCaching {
 		contrib = make([]float64, n)
 	}
+	tr := opt.Exec.Tracer()
 	iters := 0
 	for it := 0; it < opt.Iterations; it++ {
 		iters++
+		sp := tr.Begin("native.pr.iter", "pagerank iteration").Arg("iter", float64(it))
 		if e.tuning.ContribCaching {
 			// Layout optimization: one streaming pass producing a dense
 			// contribution array, so the gather does a single random load
@@ -90,7 +93,9 @@ func (e *Engine) pageRankLocal(g *graph.CSR, opt core.PageRankOptions) ([]float6
 			})
 		}
 		pr, next = next, pr
-		if opt.Tolerance > 0 && maxAbsDiff(pr, next) <= opt.Tolerance {
+		converged := opt.Tolerance > 0 && maxAbsDiff(pr, next) <= opt.Tolerance
+		sp.End()
+		if converged {
 			break
 		}
 	}
@@ -171,6 +176,9 @@ func buildPRExchange(g *graph.CSR, part *graph.Partition1D) *prExchange {
 func (e *Engine) pageRankCluster(g *graph.CSR, opt core.PageRankOptions) (*core.PageRankResult, error) {
 	cfg := *opt.Exec.Cluster
 	cfg.Overlap = e.tuning.Overlap
+	if cfg.Trace == nil {
+		cfg.Trace = opt.Exec.Trace
+	}
 	c, err := cluster.New(cfg)
 	if err != nil {
 		return nil, err
@@ -215,7 +223,9 @@ func (e *Engine) pageRankCluster(g *graph.CSR, opt core.PageRankOptions) (*core.
 		c.SetBaselineMemory(node, edges*4+int64(hi-lo+1)*8+state+ghost)
 	}
 
+	tr := cfg.Trace
 	for it := 0; it < opt.Iterations; it++ {
+		iterStart := c.VirtualSeconds()
 		err := c.RunPhase(func(node int) error {
 			// Apply contributions received from the previous iteration.
 			for _, payload := range c.Recv(node) {
@@ -289,6 +299,8 @@ func (e *Engine) pageRankCluster(g *graph.CSR, opt core.PageRankOptions) (*core.
 		}); err != nil {
 			return nil, err
 		}
+		tr.RecordVirtual(trace.PidEngine, "native.pr.iter", fmt.Sprintf("iteration %d", it),
+			iterStart, c.VirtualSeconds()-iterStart, nil)
 	}
 
 	return &core.PageRankResult{

@@ -193,7 +193,7 @@ func TestBFSDynamicMatchesArrayReference(t *testing.T) {
 		t.Fatalf("test graph too small to engage the parallel BFS path: %d edges", g.NumEdges())
 	}
 	e := New()
-	dist, _ := e.bfsLocal(g, 1)
+	dist, _ := e.bfsLocal(g, 1, nil)
 	refDist := make([]int32, g.NumVertices)
 	for i := range refDist {
 		refDist[i] = -1

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DefaultGrain is the chunk size the dynamic loops use when the caller
@@ -38,6 +39,7 @@ func ForDynamicIndexed(n, grain int, body func(worker, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
+	sc := sched.Load()
 	if grain <= 0 {
 		grain = DefaultGrain
 	}
@@ -47,7 +49,14 @@ func ForDynamicIndexed(n, grain int, body func(worker, lo, hi int)) {
 		workers = chunks
 	}
 	if workers <= 1 || chunks < serialCutoverChunks {
+		start := time.Time{}
+		if sc != nil {
+			start = time.Now()
+		}
 		body(0, 0, n)
+		if sc != nil {
+			observeChunk(sc, 0, 0, n, start)
+		}
 		return
 	}
 	var next atomic.Int64
@@ -65,7 +74,13 @@ func ForDynamicIndexed(n, grain int, body func(worker, lo, hi int)) {
 				if hi > n {
 					hi = n
 				}
+				if sc == nil {
+					body(w, lo, hi)
+					continue
+				}
+				start := time.Now()
 				body(w, lo, hi)
+				observeChunk(sc, w, lo, hi, start)
 			}
 		}(w)
 	}

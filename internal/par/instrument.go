@@ -1,0 +1,29 @@
+package par
+
+import (
+	"sync/atomic"
+	"time"
+
+	"graphmaze/internal/trace"
+)
+
+// sched is the package-wide scheduling-counter attachment. The loops load
+// it once per invocation; when nil (the default) the only instrumentation
+// cost is that pointer check, which is what keeps the disabled mode inside
+// the <5% benchmark budget (ISSUE 3 acceptance).
+var sched atomic.Pointer[trace.SchedCounters]
+
+// SetSchedCounters attaches (or with nil detaches) the counters every par
+// loop feeds: chunks claimed, items processed, and busy nanoseconds per
+// worker. Attachment is process-wide — the harness owns it around an
+// experiment run; concurrent runs with different tracers would interleave
+// their counts.
+func SetSchedCounters(sc *trace.SchedCounters) { sched.Store(sc) }
+
+// observeChunk credits one executed chunk — its index span and the body
+// time just measured — to worker w's lanes. sc must be non-nil.
+func observeChunk(sc *trace.SchedCounters, w, lo, hi int, start time.Time) {
+	sc.Chunks.Add(w, 1)
+	sc.Items.Add(w, int64(hi-lo))
+	sc.BusyNS.Add(w, time.Since(start).Nanoseconds())
+}

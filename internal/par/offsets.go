@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 )
 
 // OffsetSplits returns k+1 vertex boundaries over a CSR prefix-sum array
@@ -60,6 +61,12 @@ func ForOffsetsWorkers(workers int, offsets []int64, body func(lo, hi int)) {
 		workers = n
 	}
 	if workers <= 1 {
+		if sc := sched.Load(); sc != nil {
+			start := time.Now()
+			body(0, n)
+			observeChunk(sc, 0, 0, n, start)
+			return
+		}
 		body(0, n)
 		return
 	}
@@ -67,6 +74,7 @@ func ForOffsetsWorkers(workers int, offsets []int64, body func(lo, hi int)) {
 		ForWorkers(workers, n, body)
 		return
 	}
+	sc := sched.Load()
 	bounds := OffsetSplits(offsets, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -75,10 +83,17 @@ func ForOffsetsWorkers(workers int, offsets []int64, body func(lo, hi int)) {
 			continue
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
+			start := time.Time{}
+			if sc != nil {
+				start = time.Now()
+			}
 			body(lo, hi)
-		}(lo, hi)
+			if sc != nil {
+				observeChunk(sc, w, lo, hi, start)
+			}
+		}(w, lo, hi)
 	}
 	wg.Wait()
 }

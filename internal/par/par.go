@@ -18,6 +18,7 @@ package par
 import (
 	"runtime"
 	"sync"
+	"time"
 )
 
 // For splits [0,n) into contiguous chunks across up to GOMAXPROCS
@@ -29,12 +30,20 @@ func For(n int, body func(lo, hi int)) {
 // ForWorkersIndexed is ForWorkers with the executing worker's index passed
 // to the body — for callers that keep per-worker staging areas.
 func ForWorkersIndexed(workers, n int, body func(worker, lo, hi int)) {
+	sc := sched.Load()
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		if n > 0 {
+			start := time.Time{}
+			if sc != nil {
+				start = time.Now()
+			}
 			body(0, 0, n)
+			if sc != nil {
+				observeChunk(sc, 0, 0, n, start)
+			}
 		}
 		return
 	}
@@ -49,7 +58,14 @@ func ForWorkersIndexed(workers, n int, body func(worker, lo, hi int)) {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			start := time.Time{}
+			if sc != nil {
+				start = time.Now()
+			}
 			body(w, lo, hi)
+			if sc != nil {
+				observeChunk(sc, w, lo, hi, start)
+			}
 		}(w, lo, hi)
 		lo = hi
 	}
@@ -61,12 +77,20 @@ func ForWorkersIndexed(workers, n int, body func(worker, lo, hi int)) {
 // The remainder of n/workers is spread over the first n%workers chunks,
 // so chunk sizes never differ by more than one.
 func ForWorkers(workers, n int, body func(lo, hi int)) {
+	sc := sched.Load()
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		if n > 0 {
+			start := time.Time{}
+			if sc != nil {
+				start = time.Now()
+			}
 			body(0, n)
+			if sc != nil {
+				observeChunk(sc, 0, 0, n, start)
+			}
 		}
 		return
 	}
@@ -79,10 +103,17 @@ func ForWorkers(workers, n int, body func(lo, hi int)) {
 			hi++
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
+			start := time.Time{}
+			if sc != nil {
+				start = time.Now()
+			}
 			body(lo, hi)
-		}(lo, hi)
+			if sc != nil {
+				observeChunk(sc, w, lo, hi, start)
+			}
+		}(w, lo, hi)
 		lo = hi
 	}
 	wg.Wait()

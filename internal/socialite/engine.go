@@ -7,6 +7,7 @@ import (
 	"graphmaze/internal/cluster"
 	"graphmaze/internal/core"
 	"graphmaze/internal/graph"
+	"graphmaze/internal/trace"
 )
 
 // Engine is the SociaLite-model engine. The network-optimized variant uses
@@ -125,12 +126,15 @@ func (e *Engine) PageRank(g *graph.CSR, opt core.PageRankOptions) (*core.PageRan
 	}
 
 	if opt.Exec.Cluster == nil {
+		tr := opt.Exec.Tracer()
 		start := time.Now()
 		for it := 0; it < opt.Iterations; it++ {
+			sp := tr.Begin("socialite.rule", "rule evaluation").Arg("iter", float64(it))
 			err := runIteration(func(rule *Rule, seed func(lo, hi uint32)) {
 				seed(0, n)
 				_, _ = EvalParallel(rule, 0, n, nil, nil, 0, false)
 			})
+			sp.End()
 			if err != nil {
 				return nil, err
 			}
@@ -139,7 +143,11 @@ func (e *Engine) PageRank(g *graph.CSR, opt core.PageRankOptions) (*core.PageRan
 			Stats: core.RunStats{WallSeconds: time.Since(start).Seconds(), Iterations: opt.Iterations}}, nil
 	}
 
-	c, err := e.newCluster(*opt.Exec.Cluster)
+	cfg := *opt.Exec.Cluster
+	if cfg.Trace == nil {
+		cfg.Trace = opt.Exec.Trace
+	}
+	c, err := e.newCluster(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -152,7 +160,9 @@ func (e *Engine) PageRank(g *graph.CSR, opt core.PageRankOptions) (*core.PageRan
 		edges := g.Offsets[hi] - g.Offsets[lo]
 		c.SetBaselineMemory(node, edges*8+int64(hi-lo)*40)
 	}
+	tr := c.Tracer()
 	for it := 0; it < opt.Iterations; it++ {
+		iterStart := c.VirtualSeconds()
 		err := runIteration(func(rule *Rule, seed func(lo, hi uint32)) {
 			// Seed every shard before any node folds sums across shard
 			// boundaries (the seed rule is a purely local assignment).
@@ -170,6 +180,8 @@ func (e *Engine) PageRank(g *graph.CSR, opt core.PageRankOptions) (*core.PageRan
 		if err != nil {
 			return nil, err
 		}
+		tr.RecordVirtual(trace.PidEngine, "socialite.rule",
+			fmt.Sprintf("rule evaluation %d", it), iterStart, c.VirtualSeconds()-iterStart, nil)
 	}
 	return &core.PageRankResult{Ranks: vecToFloats(rank, n), Stats: statsFrom(c, opt.Iterations)}, nil
 }

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"sort"
+
+	"graphmaze/internal/metrics"
+)
+
+// PhaseStat aggregates every span sharing one category: how many there
+// were, the time they cover, and the compute/network/wait attribution
+// carried in span args (zero when a category records no attribution).
+type PhaseStat struct {
+	Cat        string  `json:"cat"`
+	Count      int     `json:"count"`
+	TotalSec   float64 `json:"total_sec"`
+	ComputeSec float64 `json:"compute_sec"`
+	NetworkSec float64 `json:"network_sec"`
+	WaitSec    float64 `json:"wait_sec"`
+}
+
+// CounterSnapshot is one counter's final value with its per-worker lanes
+// (lanes are omitted from JSON when all but one are zero — single-writer
+// counters carry no balance information).
+type CounterSnapshot struct {
+	Name  string  `json:"name"`
+	Total int64   `json:"total"`
+	Lanes []int64 `json:"lanes,omitempty"`
+}
+
+// Summary is the machine-readable digest of a tracer: the per-category
+// phase timeline, counter snapshots, and the virtual time covered by
+// simulated-node spans.
+type Summary struct {
+	Spans    int               `json:"spans"`
+	Timeline []PhaseStat       `json:"timeline"`
+	Counters []CounterSnapshot `json:"counters"`
+	// VirtualSeconds is the largest per-node sum of virtual span durations
+	// — the simulated time the trace accounts for. Comparing it against
+	// metrics.Report.SimulatedSeconds gives span coverage.
+	VirtualSeconds float64 `json:"virtual_seconds"`
+	// SchedImbalance is max/mean busy time across par workers (0 when the
+	// scheduling counters were not attached).
+	SchedImbalance float64 `json:"sched_imbalance"`
+}
+
+// Summarize digests the tracer's spans and counters. Nil on the disabled
+// tracer.
+func Summarize(t *Tracer) *Summary {
+	if t == nil {
+		return nil
+	}
+	events := t.Events()
+	byCat := make(map[string]*PhaseStat)
+	perNode := make(map[int]float64)
+	for _, ev := range events {
+		st := byCat[ev.Cat]
+		if st == nil {
+			st = &PhaseStat{Cat: ev.Cat}
+			byCat[ev.Cat] = st
+		}
+		st.Count++
+		st.TotalSec += float64(ev.DurNS) / 1e9
+		st.ComputeSec += ev.Args["compute_sec"]
+		st.NetworkSec += ev.Args["network_sec"]
+		st.WaitSec += ev.Args["wait_sec"]
+		if ev.Pid >= PidNodeBase {
+			perNode[ev.Pid] += float64(ev.DurNS) / 1e9
+		}
+	}
+	s := &Summary{Spans: len(events)}
+	for _, st := range byCat {
+		s.Timeline = append(s.Timeline, *st)
+	}
+	sort.Slice(s.Timeline, func(i, j int) bool { return s.Timeline[i].Cat < s.Timeline[j].Cat })
+	for _, sec := range perNode {
+		if sec > s.VirtualSeconds {
+			s.VirtualSeconds = sec
+		}
+	}
+
+	t.mu.Lock()
+	names := append([]string(nil), t.order...)
+	counters := make([]*Counter, len(names))
+	for i, n := range names {
+		counters[i] = t.counters[n]
+	}
+	sched := t.sched
+	t.mu.Unlock()
+	for i, n := range names {
+		snap := CounterSnapshot{Name: n, Total: counters[i].Value()}
+		lanes := counters[i].Lanes()
+		active := 0
+		for _, v := range lanes {
+			if v != 0 {
+				active++
+			}
+		}
+		if active > 1 {
+			snap.Lanes = lanes
+		}
+		s.Counters = append(s.Counters, snap)
+	}
+	s.SchedImbalance = sched.Imbalance()
+	return s
+}
+
+// Report extends metrics.Report — the paper's four run-level quantities —
+// with the per-phase timeline and counter snapshots that explain them.
+type Report struct {
+	metrics.Report
+	Trace *Summary `json:"trace,omitempty"`
+}
+
+// BuildReport combines a finalized metrics report with the tracer's
+// digest. The tracer may be nil; the result then carries only the metrics.
+func BuildReport(m metrics.Report, t *Tracer) Report {
+	return Report{Report: m, Trace: Summarize(t)}
+}
+
+// SpanCoverage reports the fraction of SimulatedSeconds covered by
+// virtual-node spans, in [0,1]; 0 when nothing was simulated or traced.
+func (r Report) SpanCoverage() float64 {
+	if r.Trace == nil || r.SimulatedSeconds <= 0 {
+		return 0
+	}
+	cov := r.Trace.VirtualSeconds / r.SimulatedSeconds
+	if cov > 1 {
+		cov = 1
+	}
+	return cov
+}
