@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint fmt all bench-par trace-demo
+.PHONY: build test race lint fmt all bench-par trace-demo fault-demo
 
 all: fmt lint build test
 
@@ -38,3 +38,14 @@ trace-demo:
 	$(GO) run ./cmd/graphbench -exp table5 -quick -iters 2 \
 		-trace trace-demo.json -json > trace-demo-report.json
 	@echo "wrote trace-demo.json and trace-demo-report.json"
+
+# fault-demo runs the fault-tolerance experiment with an injected crash
+# and checkpointing: the tables show checkpoint overhead vs interval and
+# the cost of rolling back and replaying; the Chrome trace in
+# fault-demo.json carries cluster.checkpoint / cluster.fault /
+# cluster.recovery spans on the per-node tracks.
+fault-demo:
+	$(GO) run ./cmd/graphbench -exp faulttol -quick \
+		-faults 'crash@3:n1' -ckpt-interval 2 \
+		-trace fault-demo.json -json > fault-demo-report.json
+	@echo "wrote fault-demo.json and fault-demo-report.json"

@@ -32,6 +32,8 @@ func main() {
 		quick    = flag.Bool("quick", false, "shrink inputs for a fast smoke run")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event file (load in Perfetto) to this path")
 		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON report on stdout (tables move to stderr)")
+		faults   = flag.String("faults", "", "fault plan for the faulttol experiment, e.g. 'crash@6:n1,degrade@0-3x4' or 'seed@42:c2'")
+		ckptIv   = flag.Int("ckpt-interval", 0, "checkpoint interval in phases for faulttol recovery runs (0 = default)")
 	)
 	flag.Parse()
 
@@ -47,7 +49,8 @@ func main() {
 		return
 	}
 
-	opt := harness.Options{Out: os.Stdout, Scale: *scale, Iterations: *iters, Quick: *quick}
+	opt := harness.Options{Out: os.Stdout, Scale: *scale, Iterations: *iters, Quick: *quick,
+		Faults: *faults, CkptInterval: *ckptIv}
 	if *jsonOut {
 		// JSON owns stdout so pipelines stay parseable; tables go to stderr.
 		opt.Out = os.Stderr

@@ -1,0 +1,100 @@
+package ckpt
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDisabledStoreIsNil(t *testing.T) {
+	s := NewStore(Config{})
+	if s != nil {
+		t.Fatal("disabled config produced a store")
+	}
+	// Nil-safe accessors gate the recovery loop.
+	if s.Due(0) {
+		t.Error("nil store reported a checkpoint due")
+	}
+	if _, ok := s.Latest(); ok {
+		t.Error("nil store produced a checkpoint")
+	}
+	if b, w := s.Stats(); b != 0 || w != 0 {
+		t.Errorf("nil store stats = %d/%d", b, w)
+	}
+}
+
+func TestDue(t *testing.T) {
+	s := NewStore(Config{Interval: 3})
+	for step, want := range map[int]bool{0: true, 1: false, 2: false, 3: true, 6: true, 7: false} {
+		if got := s.Due(step); got != want {
+			t.Errorf("Due(%d) = %v, want %v", step, got, want)
+		}
+	}
+}
+
+func TestSaveLatestStats(t *testing.T) {
+	s := NewStore(Config{Interval: 2})
+	if _, ok := s.Latest(); ok {
+		t.Error("empty store produced a checkpoint")
+	}
+	s.Save(0, 0, []byte("aaaa"), 2)
+	s.Save(2, 5, []byte("bbbbbbbb"), 2)
+	ck, ok := s.Latest()
+	if !ok || ck.Step != 2 || ck.Phases != 5 || string(ck.Data) != "bbbbbbbb" {
+		t.Errorf("Latest = %+v, %v", ck, ok)
+	}
+	bytes, writes := s.Stats()
+	if bytes != 12 || writes != 2 {
+		t.Errorf("Stats = %d bytes / %d writes, want 12/2", bytes, writes)
+	}
+}
+
+func TestWriteSecondsModel(t *testing.T) {
+	cfg := Config{Interval: 1, Bandwidth: 1e6, Latency: 0.5}
+	// 2 MB over 2 nodes at 1 MB/s/node: 1s transfer + 0.5s latency.
+	got := cfg.WriteSeconds(2e6, 2)
+	if math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("WriteSeconds = %v, want 1.5", got)
+	}
+	if r := cfg.ReadSeconds(2e6, 2); r != got {
+		t.Errorf("ReadSeconds %v != WriteSeconds %v", r, got)
+	}
+	// Zero nodes must not divide by zero.
+	if v := cfg.WriteSeconds(1e6, 0); math.IsInf(v, 0) || math.IsNaN(v) {
+		t.Errorf("WriteSeconds with 0 nodes = %v", v)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	cfg := Config{Interval: 1}.WithDefaults()
+	if cfg.Bandwidth != 1e9 || cfg.Latency != 0.05 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	// WriteSeconds applies defaults itself so an un-defaulted config still
+	// charges sanely.
+	if v := (Config{Interval: 1}).WriteSeconds(1e9, 1); math.IsInf(v, 0) {
+		t.Errorf("un-defaulted WriteSeconds = %v", v)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Config{Interval: -1}).Validate(); err == nil {
+		t.Error("accepted negative interval")
+	}
+	if err := (Config{Interval: 1, Bandwidth: -5}).Validate(); err == nil {
+		t.Error("accepted negative bandwidth")
+	}
+	if err := (Config{Interval: 2, Latency: 0.1}).Validate(); err != nil {
+		t.Errorf("rejected valid config: %v", err)
+	}
+}
+
+func TestSaveReturnsWriteCost(t *testing.T) {
+	// NewStore defaults the zero Latency to 50 ms, so the expected cost is
+	// transfer time plus the defaulted latency.
+	s := NewStore(Config{Interval: 1, Bandwidth: 1e6})
+	cost := s.Save(0, 0, make([]byte, 1e6), 1)
+	want := 1.0 + s.Config().Latency
+	if math.Abs(cost-want) > 1e-9 {
+		t.Errorf("Save cost = %v, want %v", cost, want)
+	}
+}

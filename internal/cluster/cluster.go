@@ -16,6 +16,8 @@ import (
 	"sync"
 	"time"
 
+	"graphmaze/internal/ckpt"
+	"graphmaze/internal/fault"
 	"graphmaze/internal/metrics"
 	"graphmaze/internal/trace"
 )
@@ -79,6 +81,16 @@ type Config struct {
 	// phase with compute/network/wait attribution (DESIGN.md §9). The nil
 	// tracer disables tracing at the cost of a pointer check.
 	Trace *trace.Tracer
+	// Fault, when non-nil, injects the planned failures (node crashes,
+	// message loss, stragglers, comm degradation) at the cluster's fault
+	// points (DESIGN.md §10). Nil means a healthy cluster.
+	Fault fault.Injector
+	// Ckpt configures superstep checkpointing for engines that opt in via
+	// Recovery; Interval 0 disables it.
+	Ckpt ckpt.Config
+	// MaxRecoveries bounds rollback-and-replay attempts per run before a
+	// Recovery gives up (default 3).
+	MaxRecoveries int
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +102,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Comm.Bandwidth == 0 {
 		c.Comm = MPI()
+	}
+	if c.Ckpt.Enabled() {
+		c.Ckpt = c.Ckpt.WithDefaults()
+	}
+	if c.MaxRecoveries == 0 {
+		c.MaxRecoveries = 3
 	}
 	return c
 }
@@ -107,6 +125,12 @@ func (c Config) Validate() error {
 	}
 	if c.Comm.Bandwidth < 0 || c.Comm.Latency < 0 {
 		return fmt.Errorf("cluster: negative comm parameters")
+	}
+	if err := c.Ckpt.Validate(); err != nil {
+		return err
+	}
+	if c.MaxRecoveries < 0 {
+		return fmt.Errorf("cluster: negative recovery bound %d", c.MaxRecoveries)
 	}
 	return nil
 }
@@ -126,6 +150,7 @@ type Cluster struct {
 
 	mu          sync.Mutex // guards outbox, extraBytes, extraMsgs during a phase
 	outbox      [][][]byte // [from][to] payloads queued this phase
+	outboxOwned [][]bool   // [from][to] buffer is cluster-private (safe to append to)
 	inbox       [][][]byte // [node] payloads delivered from last phase
 	extraBytes  []int64    // accounted-only traffic per node this phase
 	extraMsgs   []int64
@@ -157,8 +182,10 @@ func New(cfg Config) (*Cluster, error) {
 
 func (c *Cluster) resetOutbox() {
 	c.outbox = make([][][]byte, c.cfg.Nodes)
+	c.outboxOwned = make([][]bool, c.cfg.Nodes)
 	for i := range c.outbox {
 		c.outbox[i] = make([][]byte, c.cfg.Nodes)
+		c.outboxOwned[i] = make([]bool, c.cfg.Nodes)
 	}
 	for i := range c.extraBytes {
 		c.extraBytes[i], c.extraMsgs[i] = 0, 0
@@ -173,14 +200,30 @@ func (c *Cluster) Config() Config { return c.cfg }
 
 // Send queues payload from node `from` to node `to`; it is delivered at
 // the next phase boundary. Self-sends are delivered but charged no network
-// time. The payload is retained, not copied. Send is safe for concurrent
-// use within a phase.
+// time. Send is safe for concurrent use within a phase.
+//
+// Retention contract: the first payload for a (from, to) pair is retained
+// as-is, not copied — the caller must not mutate it until the phase
+// boundary. The cluster never writes into a caller's slice: if a second
+// Send targets the same pair, the buffered bytes are first moved to a
+// cluster-private buffer, so spare capacity in the first caller's backing
+// array is never overwritten.
 func (c *Cluster) Send(from, to int, payload []byte) {
 	c.mu.Lock()
-	if existing := c.outbox[from][to]; existing != nil {
-		c.outbox[from][to] = append(existing, payload...)
-	} else {
+	existing := c.outbox[from][to]
+	switch {
+	case existing == nil:
 		c.outbox[from][to] = payload
+	case !c.outboxOwned[from][to]:
+		// Appending to the first sender's slice could write into its spare
+		// capacity, corrupting sibling slices that share the backing array.
+		// Copy to a private buffer before the append.
+		owned := make([]byte, len(existing), len(existing)+len(payload))
+		copy(owned, existing)
+		c.outbox[from][to] = append(owned, payload...)
+		c.outboxOwned[from][to] = true
+	default:
+		c.outbox[from][to] = append(existing, payload...)
 	}
 	c.mu.Unlock()
 }
@@ -216,17 +259,71 @@ func (c *Cluster) RecordMemory(node int, bytes int64) {
 // RunPhase executes compute(node) for every node, measures each node's
 // compute time, then models the message exchange and advances the virtual
 // clock. It returns the first compute error, which aborts the exchange.
+//
+// Error contract (DESIGN.md §10): when RunPhase returns a non-nil error —
+// a compute error, an injected crash, or a transport-detected message
+// fault — the cluster is left in a defined state: the outbox and
+// accounted-traffic counters are cleared, the inbox still holds the last
+// successful phase's deliveries, the executed-phase counter has advanced
+// past the failed phase (the counter is monotonic and never rolled back,
+// which is what fault plans key on), and the failure-detection latency has
+// been charged to the virtual clock. A Recovery rolls engine state back;
+// the cluster itself needs no further cleanup before the next RunPhase.
 func (c *Cluster) RunPhase(compute func(node int) error) error {
+	comm := c.cfg.Comm
+	if c.cfg.Fault != nil {
+		if f := c.cfg.Fault.DegradeFactor(c.phases); f > 1 {
+			// A degraded interconnect: divided bandwidth, multiplied
+			// per-message latency, for this phase only.
+			comm.Bandwidth /= f
+			comm.Latency *= f
+		}
+	}
+
 	computeSec := make([]float64, c.cfg.Nodes)
 	netSec := make([]float64, c.cfg.Nodes)
 	nodeBytes := make([]int64, c.cfg.Nodes)
 	nodeMsgs := make([]int64, c.cfg.Nodes)
 	for n := 0; n < c.cfg.Nodes; n++ {
+		if c.cfg.Fault != nil && c.cfg.Fault.CrashPoint(c.phases, n) {
+			return c.failPhase(computeSec,
+				&fault.Error{Kind: fault.Crash, Phase: c.phases, Node: n})
+		}
 		start := time.Now()
 		if err := compute(n); err != nil {
-			return fmt.Errorf("cluster: node %d phase %d: %w", n, c.phases, err)
+			computeSec[n] = time.Since(start).Seconds()
+			return c.failPhase(computeSec,
+				fmt.Errorf("cluster: node %d phase %d: %w", n, c.phases, err))
 		}
 		computeSec[n] = time.Since(start).Seconds()
+		if c.cfg.Fault != nil {
+			if f := c.cfg.Fault.SlowFactor(c.phases, n); f > 1 {
+				computeSec[n] *= f
+			}
+		}
+	}
+
+	// Transport check: drops and truncations are detected at exchange time
+	// (checksum/ack failure), and the phase's delivery is all-or-nothing —
+	// a detected message fault aborts the whole exchange, so no engine ever
+	// observes a corrupt or partial inbox and checkpoints never capture
+	// corruption. That is what keeps recovered runs bit-identical.
+	if c.cfg.Fault != nil {
+		for from := 0; from < c.cfg.Nodes; from++ {
+			for to, payload := range c.outbox[from] {
+				if to == from || payload == nil {
+					continue
+				}
+				switch c.cfg.Fault.MessageFault(c.phases, from, to) {
+				case fault.Dropped:
+					return c.failPhase(computeSec,
+						&fault.Error{Kind: fault.Drop, Phase: c.phases, Node: from, To: to})
+				case fault.Truncated:
+					return c.failPhase(computeSec,
+						&fault.Error{Kind: fault.Truncate, Phase: c.phases, Node: from, To: to})
+				}
+			}
+		}
 	}
 
 	// Tally per-node traffic and charge network time.
@@ -243,7 +340,7 @@ func (c *Cluster) RunPhase(compute func(node int) error) error {
 		}
 		bytes += c.extraBytes[n]
 		msgs += c.extraMsgs[n]
-		net := c.cfg.Comm.Latency*float64(msgs) + float64(bytes)/c.cfg.Comm.Bandwidth
+		net := comm.Latency*float64(msgs) + float64(bytes)/comm.Bandwidth
 		netSec[n], nodeBytes[n], nodeMsgs[n] = net, bytes, msgs
 		achieved := 0.0
 		if net > 0 {
@@ -316,7 +413,50 @@ func (c *Cluster) RunPhase(compute func(node int) error) error {
 	return nil
 }
 
-// Phases reports how many phases have completed.
+// failPhase implements RunPhase's clean-on-error contract: it charges the
+// compute time already spent plus the failure-detection latency to the
+// virtual clock (surfaced as recovery_sec in the metrics Report), records
+// a per-node fault span on the trace, clears the outbox and accounted
+// counters, advances the executed-phase counter past the failed phase, and
+// returns err. The inbox is left holding the last successful phase's
+// deliveries so a Recovery can re-run the step from its checkpoint.
+func (c *Cluster) failPhase(computeSec []float64, err error) error {
+	detect := 0.0
+	if c.cfg.Fault != nil {
+		detect = c.cfg.Fault.DetectSeconds()
+	}
+	var partial float64
+	for _, s := range computeSec {
+		if s > partial {
+			partial = s
+		}
+	}
+	wall := partial + detect
+	c.collector.AddFailedPhase(wall)
+	if c.cfg.Trace.Enabled() {
+		for n := 0; n < c.cfg.Nodes; n++ {
+			c.cfg.Trace.RecordVirtual(trace.PidNode(n), "cluster.fault",
+				fmt.Sprintf("phase %d failed", c.phases), c.virtualSec, wall,
+				map[string]float64{
+					"compute_sec": computeSec[n],
+					"detect_sec":  detect,
+				})
+		}
+	}
+	c.virtualSec += wall
+	c.resetOutbox()
+	c.phases++
+	return err
+}
+
+// Collector exposes the metrics collector for the recovery driver, which
+// charges checkpoint and restore costs onto the same report.
+func (c *Cluster) Collector() *metrics.Collector { return c.collector }
+
+// Phases reports how many phases have executed, failed ones included. The
+// counter is monotonic and never rolled back — fault plans key their
+// events on it, so a replayed phase runs under a fresh index and a
+// consumed one-shot fault cannot re-fire.
 func (c *Cluster) Phases() int { return c.phases }
 
 // VirtualSeconds reports the modeled wall clock accumulated so far.

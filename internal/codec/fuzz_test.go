@@ -1,0 +1,88 @@
+package codec
+
+import "testing"
+
+// The decoders parse checkpoint and frontier bytes that — in the systems
+// being modeled — crossed a network. They must survive arbitrary and
+// truncated input without panicking or over-allocating; a bad record is an
+// error, never a crash. Run with `go test -fuzz=FuzzX ./internal/codec`
+// for an open-ended session; the seed corpus below runs in every ordinary
+// `go test`.
+
+func FuzzDecodeIDs(f *testing.F) {
+	for _, s := range []Scheme{Raw, DeltaVarint, Bitvector} {
+		enc, err := EncodeIDs(s, []uint32{0, 3, 64, 1000}, 2048)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+		f.Add(enc[:len(enc)/2])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{byte(Bitvector), 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ids, err := DecodeIDs(data)
+		if err != nil {
+			return
+		}
+		switch Scheme(data[0]) {
+		case Raw, DeltaVarint:
+			// Every id costs at least one input byte in both schemes, so a
+			// decode can never produce more ids than bytes (an allocation
+			// bound, not just a sanity check).
+			if len(ids) > len(data) {
+				t.Fatalf("scheme %d decoded %d ids from %d bytes", data[0], len(ids), len(data))
+			}
+		case Bitvector:
+			// Bitmap decodes are strictly increasing by construction.
+			for i := 1; i < len(ids); i++ {
+				if ids[i] <= ids[i-1] {
+					t.Fatalf("bitvector decoded unordered ids %v", ids)
+				}
+			}
+		}
+	})
+}
+
+func FuzzSection(f *testing.F) {
+	f.Add(AppendSection(AppendSection(nil, []byte("ab")), []byte("cdef")))
+	f.Add([]byte{0x80})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rest := data
+		// Walk at most a bounded number of sections; each step must either
+		// error or strictly consume bytes.
+		for i := 0; i < 64 && len(rest) > 0; i++ {
+			sec, next, err := Section(rest)
+			if err != nil {
+				return
+			}
+			if len(next)+len(sec) > len(rest) {
+				t.Fatalf("section invented bytes: %d+%d from %d", len(sec), len(next), len(rest))
+			}
+			if len(next) >= len(rest) {
+				t.Fatal("section consumed nothing")
+			}
+			rest = next
+		}
+	})
+}
+
+func FuzzTypedArrays(f *testing.F) {
+	f.Add(AppendUint64s(nil, []uint64{1, 2, 3}))
+	f.Add(AppendFloat64s(nil, []float64{0.5, -1}))
+	f.Add(AppendUint32s(nil, []uint32{9}))
+	f.Add(AppendInt32s(nil, []int32{-7}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if vals, _, err := Uint64s(data); err == nil && uint64(len(vals)) > uint64(len(data)) {
+			t.Fatalf("uint64s decoded %d values from %d bytes", len(vals), len(data))
+		}
+		if vals, _, err := Uint32s(data); err == nil && uint64(len(vals)) > uint64(len(data)) {
+			t.Fatalf("uint32s decoded %d values from %d bytes", len(vals), len(data))
+		}
+		_, _, _ = Float64s(data)
+		_, _, _ = Int32s(data)
+		_, _, _ = Uvarint(data)
+	})
+}

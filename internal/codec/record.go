@@ -1,0 +1,191 @@
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Record framing for checkpoint payloads (DESIGN.md §10). A checkpoint is a
+// sequence of uvarint-length-prefixed sections; each section carries one
+// typed array (raw little-endian words) or an opaque sub-record. The
+// readers are hardened against arbitrary and truncated input: every length
+// is validated against the remaining bytes before any allocation, so a
+// corrupt checkpoint surfaces as an error, never a panic or an allocation
+// bomb.
+
+// ErrTruncated reports a record that ends mid-value.
+var ErrTruncated = errors.New("codec: truncated record")
+
+// AppendSection appends a length-prefixed byte section to dst and returns
+// the extended slice.
+func AppendSection(dst, section []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(section)))
+	return append(dst, section...)
+}
+
+// Section reads the next length-prefixed section, returning it and the
+// remaining bytes. The returned section aliases data.
+func Section(data []byte) (section, rest []byte, err error) {
+	n, w := binary.Uvarint(data)
+	if w <= 0 {
+		return nil, nil, ErrTruncated
+	}
+	data = data[w:]
+	if n > uint64(len(data)) {
+		return nil, nil, fmt.Errorf("codec: section claims %d bytes, %d remain: %w", n, len(data), ErrTruncated)
+	}
+	return data[:n], data[n:], nil
+}
+
+// AppendUvarint appends a uvarint-coded value.
+func AppendUvarint(dst []byte, v uint64) []byte { return binary.AppendUvarint(dst, v) }
+
+// Uvarint reads a uvarint-coded value and returns the remaining bytes.
+func Uvarint(data []byte) (v uint64, rest []byte, err error) {
+	v, w := binary.Uvarint(data)
+	if w <= 0 {
+		return 0, nil, ErrTruncated
+	}
+	return v, data[w:], nil
+}
+
+// AppendUint64 appends one 8-byte little-endian word.
+func AppendUint64(dst []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, v)
+}
+
+// Uint64 reads one word written by AppendUint64.
+func Uint64(data []byte) (v uint64, rest []byte, err error) {
+	if len(data) < 8 {
+		return 0, nil, ErrTruncated
+	}
+	return binary.LittleEndian.Uint64(data), data[8:], nil
+}
+
+// AppendUint32 appends one 4-byte little-endian value.
+func AppendUint32(dst []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, v)
+}
+
+// Uint32 reads one value written by AppendUint32.
+func Uint32(data []byte) (v uint32, rest []byte, err error) {
+	if len(data) < 4 {
+		return 0, nil, ErrTruncated
+	}
+	return binary.LittleEndian.Uint32(data), data[4:], nil
+}
+
+// AppendFloat64 appends one IEEE-754 double's exact bit pattern.
+func AppendFloat64(dst []byte, v float64) []byte {
+	return AppendUint64(dst, math.Float64bits(v))
+}
+
+// Float64 reads one value written by AppendFloat64, bit-identically.
+func Float64(data []byte) (v float64, rest []byte, err error) {
+	w, rest, err := Uint64(data)
+	if err != nil {
+		return 0, nil, err
+	}
+	return math.Float64frombits(w), rest, nil
+}
+
+// AppendUint64s appends a count-prefixed array of 8-byte little-endian
+// words (bitset words, counters).
+func AppendUint64s(dst []byte, vals []uint64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(vals)))
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint64(dst, v)
+	}
+	return dst
+}
+
+// Uint64s reads an array written by AppendUint64s.
+func Uint64s(data []byte) (vals []uint64, rest []byte, err error) {
+	n, data, err := Uvarint(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(data))/8 {
+		return nil, nil, fmt.Errorf("codec: uint64 array claims %d entries, %d bytes remain: %w", n, len(data), ErrTruncated)
+	}
+	vals = make([]uint64, n)
+	for i := range vals {
+		vals[i] = binary.LittleEndian.Uint64(data[8*i:])
+	}
+	return vals, data[8*n:], nil
+}
+
+// AppendUint32s appends a count-prefixed array of 4-byte little-endian
+// values. Unlike EncodeIDs it imposes no ordering requirement, so it suits
+// frontier lists and per-vertex state.
+func AppendUint32s(dst []byte, vals []uint32) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(vals)))
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint32(dst, v)
+	}
+	return dst
+}
+
+// Uint32s reads an array written by AppendUint32s.
+func Uint32s(data []byte) (vals []uint32, rest []byte, err error) {
+	n, data, err := Uvarint(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(data))/4 {
+		return nil, nil, fmt.Errorf("codec: uint32 array claims %d entries, %d bytes remain: %w", n, len(data), ErrTruncated)
+	}
+	vals = make([]uint32, n)
+	for i := range vals {
+		vals[i] = binary.LittleEndian.Uint32(data[4*i:])
+	}
+	return vals, data[4*n:], nil
+}
+
+// AppendFloat64s appends a count-prefixed array of IEEE-754 doubles in
+// their exact bit patterns, so a round trip is bit-identical.
+func AppendFloat64s(dst []byte, vals []float64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(vals)))
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// Float64s reads an array written by AppendFloat64s.
+func Float64s(data []byte) (vals []float64, rest []byte, err error) {
+	words, rest, err := Uint64s(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	vals = make([]float64, len(words))
+	for i, w := range words {
+		vals[i] = math.Float64frombits(w)
+	}
+	return vals, rest, nil
+}
+
+// AppendInt32s appends a count-prefixed array of signed 32-bit values
+// (BFS distances) as their two's-complement bit patterns.
+func AppendInt32s(dst []byte, vals []int32) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(vals)))
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(v))
+	}
+	return dst
+}
+
+// Int32s reads an array written by AppendInt32s.
+func Int32s(data []byte) (vals []int32, rest []byte, err error) {
+	u, rest, err := Uint32s(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	vals = make([]int32, len(u))
+	for i, v := range u {
+		vals[i] = int32(v)
+	}
+	return vals, rest, nil
+}

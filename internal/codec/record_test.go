@@ -1,0 +1,201 @@
+package codec
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestSectionRoundTrip(t *testing.T) {
+	var buf []byte
+	buf = AppendSection(buf, []byte("first"))
+	buf = AppendSection(buf, nil)
+	buf = AppendSection(buf, []byte("third"))
+
+	s1, rest, err := Section(buf)
+	if err != nil || string(s1) != "first" {
+		t.Fatalf("section 1 = %q, %v", s1, err)
+	}
+	s2, rest, err := Section(rest)
+	if err != nil || len(s2) != 0 {
+		t.Fatalf("section 2 = %q, %v", s2, err)
+	}
+	s3, rest, err := Section(rest)
+	if err != nil || string(s3) != "third" {
+		t.Fatalf("section 3 = %q, %v", s3, err)
+	}
+	if len(rest) != 0 {
+		t.Errorf("%d trailing bytes", len(rest))
+	}
+}
+
+func TestSectionTruncation(t *testing.T) {
+	buf := AppendSection(nil, []byte("payload"))
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := Section(buf[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Errorf("Section on %d/%d bytes: err = %v, want ErrTruncated", cut, len(buf), err)
+		}
+	}
+}
+
+func TestSectionOverclaim(t *testing.T) {
+	// A section claiming far more bytes than exist must error without
+	// allocating.
+	buf := AppendUvarint(nil, 1<<40)
+	if _, _, err := Section(buf); !errors.Is(err, ErrTruncated) {
+		t.Errorf("overclaiming section: %v", err)
+	}
+}
+
+func TestUvarintRoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 127, 128, 1 << 20, math.MaxUint64} {
+		buf := AppendUvarint(nil, v)
+		got, rest, err := Uvarint(buf)
+		if err != nil || got != v || len(rest) != 0 {
+			t.Errorf("uvarint %d round-tripped to %d (rest %d, err %v)", v, got, len(rest), err)
+		}
+	}
+	if _, _, err := Uvarint(nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("empty uvarint: %v", err)
+	}
+	if _, _, err := Uvarint([]byte{0x80}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("cut varint: %v", err)
+	}
+}
+
+func TestTypedArrayRoundTrips(t *testing.T) {
+	u64 := []uint64{0, 1, math.MaxUint64, 1 << 40}
+	if got, rest, err := Uint64s(AppendUint64s(nil, u64)); err != nil || len(rest) != 0 || !equalU64(got, u64) {
+		t.Errorf("uint64s round trip = %v, rest %d, err %v", got, len(rest), err)
+	}
+	u32 := []uint32{0, 7, math.MaxUint32}
+	if got, rest, err := Uint32s(AppendUint32s(nil, u32)); err != nil || len(rest) != 0 || !equalU32(got, u32) {
+		t.Errorf("uint32s round trip = %v, rest %d, err %v", got, len(rest), err)
+	}
+	i32 := []int32{0, -1, math.MinInt32, math.MaxInt32}
+	if got, rest, err := Int32s(AppendInt32s(nil, i32)); err != nil || len(rest) != 0 || !equalI32(got, i32) {
+		t.Errorf("int32s round trip = %v, rest %d, err %v", got, len(rest), err)
+	}
+	// Empty arrays round-trip to empty, not error.
+	if got, _, err := Float64s(AppendFloat64s(nil, nil)); err != nil || len(got) != 0 {
+		t.Errorf("empty float64s = %v, %v", got, err)
+	}
+}
+
+func TestFloat64sBitIdentical(t *testing.T) {
+	// Checkpoint determinism rests on exact bit patterns surviving the
+	// round trip: NaN payloads, signed zero, denormals included.
+	vals := []float64{0, math.Copysign(0, -1), 1.0 / 3.0, math.Inf(1), math.Inf(-1),
+		math.NaN(), math.Float64frombits(0x7ff8000000000001), 5e-324, math.MaxFloat64}
+	got, rest, err := Float64s(AppendFloat64s(nil, vals))
+	if err != nil || len(rest) != 0 || len(got) != len(vals) {
+		t.Fatalf("round trip: %v (rest %d)", err, len(rest))
+	}
+	for i := range vals {
+		if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+			t.Errorf("value %d: bits %x != %x", i, math.Float64bits(got[i]), math.Float64bits(vals[i]))
+		}
+	}
+}
+
+func TestTypedArrayTruncation(t *testing.T) {
+	full := AppendFloat64s(nil, []float64{1.5, 2.5, 3.5})
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := Float64s(full[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Errorf("Float64s on %d/%d bytes: %v", cut, len(full), err)
+		}
+	}
+}
+
+func TestTypedArrayOverclaim(t *testing.T) {
+	// A count far beyond the remaining bytes must error before allocating
+	// (the fuzz harness would OOM otherwise).
+	huge := AppendUvarint(nil, 1<<50)
+	if _, _, err := Uint64s(huge); !errors.Is(err, ErrTruncated) {
+		t.Errorf("uint64 overclaim: %v", err)
+	}
+	if _, _, err := Uint32s(huge); !errors.Is(err, ErrTruncated) {
+		t.Errorf("uint32 overclaim: %v", err)
+	}
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalU32(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalI32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestScalarRoundTrip(t *testing.T) {
+	var buf []byte
+	buf = AppendUint64(buf, 0xdeadbeefcafe0001)
+	buf = AppendUint32(buf, 0xfeed0002)
+	buf = AppendFloat64(buf, math.Copysign(0, -1))
+	buf = AppendFloat64(buf, math.NaN())
+
+	u64, rest, err := Uint64(buf)
+	if err != nil || u64 != 0xdeadbeefcafe0001 {
+		t.Fatalf("Uint64 = %x, %v", u64, err)
+	}
+	u32, rest, err := Uint32(rest)
+	if err != nil || u32 != 0xfeed0002 {
+		t.Fatalf("Uint32 = %x, %v", u32, err)
+	}
+	neg, rest, err := Float64(rest)
+	if err != nil || math.Float64bits(neg) != math.Float64bits(math.Copysign(0, -1)) {
+		t.Fatalf("Float64 lost -0: %x, %v", math.Float64bits(neg), err)
+	}
+	nan, rest, err := Float64(rest)
+	if err != nil || !math.IsNaN(nan) {
+		t.Fatalf("Float64 lost NaN: %v, %v", nan, err)
+	}
+	if len(rest) != 0 {
+		t.Errorf("%d trailing bytes", len(rest))
+	}
+}
+
+func TestScalarTruncation(t *testing.T) {
+	buf := AppendUint64(nil, 7)
+	for cut := 0; cut < 8; cut++ {
+		if _, _, err := Uint64(buf[:cut]); err != ErrTruncated {
+			t.Errorf("Uint64 of %d bytes: err = %v", cut, err)
+		}
+		if _, _, err := Float64(buf[:cut]); err != ErrTruncated {
+			t.Errorf("Float64 of %d bytes: err = %v", cut, err)
+		}
+	}
+	for cut := 0; cut < 4; cut++ {
+		if _, _, err := Uint32(buf[:cut]); err != ErrTruncated {
+			t.Errorf("Uint32 of %d bytes: err = %v", cut, err)
+		}
+	}
+}

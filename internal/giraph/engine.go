@@ -123,6 +123,7 @@ func (e *Engine) PageRank(g *graph.CSR, opt core.PageRankOptions) (*core.PageRan
 		MaxSupersteps: opt.Iterations + 1,
 		MessageBytes:  func(any) int { return 8 },
 	}
+	job.EncodeValue, job.DecodeValue = Float64Codec()
 	if e.combine {
 		// PageRank's messages fold with addition (§6.2 recommendation).
 		job.Combiner = func(a, b any) any { return a.(float64) + b.(float64) }
@@ -195,6 +196,7 @@ func (e *Engine) BFS(g *graph.CSR, opt core.BFSOptions) (*core.BFSResult, error)
 			ctx.VoteToHalt()
 		},
 	}
+	job.EncodeValue, job.DecodeValue = Int32Codec()
 	if e.combine {
 		// BFS messages fold with min (§6.2 recommendation).
 		job.Combiner = func(a, b any) any {

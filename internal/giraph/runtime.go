@@ -113,6 +113,14 @@ type Job struct {
 	Workers int
 	// Cluster, when non-nil, runs distributed over a 1-D partition.
 	Cluster *cluster.Cluster
+	// EncodeValue and DecodeValue serialize one vertex value — and one
+	// message, which shares the value's type for the built-in algorithms —
+	// for superstep checkpointing (DESIGN.md §10). EncodeValue appends to
+	// dst; DecodeValue consumes from data and returns the remainder. Both
+	// are required when the cluster checkpoints (Ckpt.Interval > 0) and
+	// ignored otherwise.
+	EncodeValue func(dst []byte, v any) ([]byte, error)
+	DecodeValue func(data []byte) (v any, rest []byte, err error)
 	// Tracer, when non-nil, receives one span per superstep (active
 	// vertices, messages, peak buffered bytes) plus message counters.
 	Tracer *trace.Tracer
@@ -299,11 +307,16 @@ func Run(job *Job) (*Result, error) {
 
 	var peakBuffered int64
 	var supersteps int
-	for {
-		if job.MaxSupersteps > 0 && supersteps >= job.MaxSupersteps {
-			break
+	// runStep executes superstep s and reports whether the run is done. A
+	// Recovery can re-invoke it with the same s after rolling engine state
+	// back to a checkpoint; everything the step touches is either rebuilt
+	// per chunk (staging, bufferedBytes, nextInbox) or part of the snapshot
+	// (values, halted, counter, inbox), so replays are exact.
+	runStep := func(s int) (bool, error) {
+		if job.MaxSupersteps > 0 && s >= job.MaxSupersteps {
+			return true, nil
 		}
-		rt.superstep = supersteps
+		rt.superstep = s
 
 		activeList := make([]uint32, 0, n)
 		for v := uint32(0); v < n; v++ {
@@ -312,7 +325,7 @@ func Run(job *Job) (*Result, error) {
 			}
 		}
 		if len(activeList) == 0 {
-			break
+			return true, nil
 		}
 		activeCounter.Add(0, int64(len(activeList)))
 		var stepSpan *trace.Span
@@ -320,7 +333,7 @@ func Run(job *Job) (*Result, error) {
 		if job.Cluster != nil {
 			stepVirtualStart = job.Cluster.VirtualSeconds()
 		} else {
-			stepSpan = tr.Begin("giraph.superstep", "superstep").Arg("superstep", float64(supersteps))
+			stepSpan = tr.Begin("giraph.superstep", "superstep").Arg("superstep", float64(s))
 		}
 		var stepMsgs, stepPeakBuffered int64
 		rt.nextInbox = make([][]any, n)
@@ -363,7 +376,7 @@ func Run(job *Job) (*Result, error) {
 					return nil
 				})
 				if err != nil {
-					return nil, err
+					return false, err
 				}
 				// Buffered messages sit on-heap until the chunk flushes.
 				if buffered := rt.bufferedBytes.Load(); buffered > 0 {
@@ -408,7 +421,7 @@ func Run(job *Job) (*Result, error) {
 				Arg("buffered_bytes", float64(stepPeakBuffered)).End()
 		} else if job.Cluster != nil {
 			job.Tracer.RecordVirtual(trace.PidEngine, "giraph.superstep",
-				fmt.Sprintf("superstep %d", supersteps),
+				fmt.Sprintf("superstep %d", s),
 				stepVirtualStart, job.Cluster.VirtualSeconds()-stepVirtualStart,
 				map[string]float64{
 					"active":         float64(len(activeList)),
@@ -417,7 +430,43 @@ func Run(job *Job) (*Result, error) {
 				})
 		}
 		inbox = rt.nextInbox
-		supersteps++
+		supersteps = s + 1
+		return false, nil
+	}
+
+	if job.Cluster != nil {
+		// The superstep loop runs under the cluster's recovery driver:
+		// every Ckpt.Interval supersteps the vertex values, active set,
+		// aggregator counter, and pending messages are checkpointed
+		// (Pregel's scheme, which Giraph inherits), and an injected crash
+		// rolls back and replays from the last snapshot.
+		rec := job.Cluster.Recovery(
+			func() ([]byte, error) { return snapshotState(job, rt, values, inbox) },
+			func(data []byte) error {
+				restored, err := restoreState(job, rt, values, data)
+				if err != nil {
+					return err
+				}
+				inbox = restored
+				return nil
+			})
+		if rec.Store() != nil && (job.EncodeValue == nil || job.DecodeValue == nil) {
+			return nil, fmt.Errorf("giraph: checkpointing (interval %d) needs EncodeValue/DecodeValue on the job",
+				job.Cluster.Config().Ckpt.Interval)
+		}
+		if err := rec.Run(runStep); err != nil {
+			return nil, err
+		}
+	} else {
+		for {
+			done, err := runStep(supersteps)
+			if err != nil {
+				return nil, err
+			}
+			if done {
+				break
+			}
+		}
 	}
 	return &Result{Values: values, Supersteps: supersteps, Counter: rt.counter.Load(), PeakBufferedBytes: peakBuffered}, nil
 }

@@ -50,6 +50,13 @@ type Options struct {
 	// measurement (and the trace summary, if tracing) after the experiment
 	// completes.
 	JSON io.Writer
+	// Faults is a fault-plan spec (fault.ParsePlan grammar) for the
+	// fault-tolerance experiment; empty runs its default crash sweep.
+	// Plans are single-use, so the spec is re-parsed for every run.
+	Faults string
+	// CkptInterval overrides the checkpoint interval (in phases) for the
+	// fault-tolerance experiment's recovery runs; 0 picks the default.
+	CkptInterval int
 
 	// rec collects RunRecords when Run wants a machine-readable report.
 	rec *[]RunRecord
@@ -102,6 +109,7 @@ func Experiments() []Experiment {
 		{ID: "giraphsplit", Title: "§6.1.3: Giraph phased-superstep memory", Run: GiraphPhasedSupersteps},
 		{ID: "giraphfix", Title: "§6.2: Giraph roadmap (combiners + more workers)", Run: GiraphRoadmap},
 		{ID: "sgdgd", Title: "§3.2: SGD vs GD convergence", Run: SGDvsGD},
+		{ID: "faulttol", Title: "DESIGN.md §10: checkpoint overhead & recovery cost", Run: FaultTolerance},
 	}
 }
 

@@ -20,7 +20,7 @@ func runQuick(t *testing.T, id string) string {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 13 {
+	if len(exps) != 14 {
 		t.Fatalf("registry has %d experiments", len(exps))
 	}
 	seen := map[string]bool{}
@@ -136,6 +136,39 @@ func TestAblationsQuick(t *testing.T) {
 	}
 	if out := runQuick(t, "sgdgd"); !strings.Contains(out, "SGD") {
 		t.Errorf("sgdgd output malformed:\n%s", out)
+	}
+}
+
+func TestFaultTolQuick(t *testing.T) {
+	out := runQuick(t, "faulttol")
+	for _, frag := range []string{"checkpoint overhead", "recovery cost", "Overhead", "Recoveries"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("faulttol output missing %q:\n%s", frag, out)
+		}
+	}
+	// The determinism contract shows up in the table itself: every
+	// recovered run must report bit-identical output.
+	if strings.Contains(out, "DIFFERS") {
+		t.Errorf("recovered output diverged from fault-free run:\n%s", out)
+	}
+	if !strings.Contains(out, "identical") {
+		t.Errorf("no run verified against the fault-free baseline:\n%s", out)
+	}
+}
+
+func TestFaultTolCustomPlan(t *testing.T) {
+	var buf bytes.Buffer
+	err := Run("faulttol", Options{Out: &buf, Quick: true, Iterations: 2,
+		Faults: "crash@2:n1,slow@0-3:n0x2", CkptInterval: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := buf.String(); !strings.Contains(out, "crash@2:n1") {
+		t.Errorf("custom plan not used:\n%s", out)
+	}
+	if err := Run("faulttol", Options{Out: &buf, Quick: true, Iterations: 2,
+		Faults: "bogus@@"}); err == nil {
+		t.Error("bad -faults spec should error")
 	}
 }
 

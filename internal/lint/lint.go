@@ -3,7 +3,8 @@
 // generic Go toolchain cannot check: no mixed atomic/plain access, no
 // fire-and-forget goroutines in engine code, no panics in library paths,
 // no silent 64-bit → 32-bit index truncation, no trace spans dropped by a
-// missed End(), and doc comments on every exported engine API.
+// missed End(), no discarded checkpoint/restore errors, and doc comments on
+// every exported engine API.
 //
 // The analyzer is built only on the standard library (go/parser, go/ast,
 // go/types): Load parses and type-checks the module from source, Run applies
@@ -67,6 +68,7 @@ type Rule interface {
 func DefaultRules() []Rule {
 	return []Rule{
 		&AtomicRule{},
+		&CkptRule{},
 		&GoroutineRule{},
 		&PanicRule{},
 		&SpanRule{},

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CkptRule flags discarded errors from the fault-tolerance subsystem's
+// state-critical calls. A checkpoint Save whose error is dropped silently
+// loses the recovery point; a Restore or recovery Run whose error is
+// dropped continues on corrupt state. The rule matches calls to methods
+// named Save, Snapshot, Restore, or Checkpoint — plus Run on a Recovery
+// receiver — that return an error, and reports when that error is
+// discarded: the call as a bare statement, or the error assigned to the
+// blank identifier.
+type CkptRule struct{}
+
+// Name implements Rule.
+func (*CkptRule) Name() string { return "ckpt" }
+
+// Doc implements Rule.
+func (*CkptRule) Doc() string {
+	return "checkpoint/restore errors must be handled (a dropped Save error loses the recovery point)"
+}
+
+// ckptMethods are the state-critical method names the rule watches.
+var ckptMethods = map[string]bool{
+	"Save":       true,
+	"Snapshot":   true,
+	"Restore":    true,
+	"Checkpoint": true,
+}
+
+// Check implements Rule.
+func (r *CkptRule) Check(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := s.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, idx := r.match(p, call); idx >= 0 {
+					report(call.Pos(), "%s returns an error that is discarded: a dropped checkpoint/restore error corrupts recovery", name)
+				}
+				return true
+			case *ast.AssignStmt:
+				if len(s.Rhs) != 1 {
+					return true
+				}
+				call, ok := s.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, idx := r.match(p, call)
+				if idx < 0 || idx >= len(s.Lhs) {
+					return true
+				}
+				if id, ok := s.Lhs[idx].(*ast.Ident); ok && id.Name == "_" {
+					report(s.Pos(), "%s's error is assigned to _: a dropped checkpoint/restore error corrupts recovery", name)
+				}
+				return true
+			}
+			return true
+		})
+	}
+}
+
+// match reports whether call targets a watched checkpoint/restore method
+// returning an error, giving the method name and the error result's index
+// (-1 when the call is not watched or returns no error).
+func (r *CkptRule) match(p *Package, call *ast.CallExpr) (string, int) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", -1
+	}
+	name := sel.Sel.Name
+	switch {
+	case ckptMethods[name]:
+	case name == "Run" && isRecoveryReceiver(p, sel.X):
+	default:
+		return "", -1
+	}
+	tv, ok := p.Info.Types[call]
+	if !ok {
+		return "", -1
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := t.Len() - 1; i >= 0; i-- {
+			if isErrorType(t.At(i).Type()) {
+				return name, i
+			}
+		}
+	default:
+		if isErrorType(tv.Type) {
+			return name, 0
+		}
+	}
+	return "", -1
+}
+
+// isRecoveryReceiver reports whether expr's type is a named "Recovery"
+// (possibly behind a pointer) — the cluster recovery driver's shape,
+// matched structurally so fixtures type-check without the real package.
+func isRecoveryReceiver(p *Package, expr ast.Expr) bool {
+	tv, ok := p.Info.Types[expr]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Recovery"
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// ckptFixturePrelude stands in for the fault-tolerance API shapes: a store
+// with an error-returning Save, a Recovery driver with Run, and snapshot/
+// restore helpers. The rule matches names and the error result
+// structurally, so fixtures type-check against the standard library only.
+const ckptFixturePrelude = `package fix
+
+type Store struct{}
+
+func (s *Store) Save(step int, data []byte) (float64, error) { return 0, nil }
+func (s *Store) Snapshot() ([]byte, error)                   { return nil, nil }
+func (s *Store) Restore(data []byte) error                   { return nil }
+
+type Recovery struct{}
+
+func (r *Recovery) Run(step func(int) (bool, error)) error { return nil }
+
+type Runner struct{}
+
+// Run here does not return an error and is not on a Recovery: unwatched.
+func (r *Runner) Run() {}
+
+`
+
+func TestCkptRuleFlagsBareSave(t *testing.T) {
+	p := loadFixture(t, "internal/fix", map[string]string{"a.go": ckptFixturePrelude + `func drop(s *Store) {
+	s.Save(1, nil)
+}
+`})
+	findings := runRule(t, p, &CkptRule{})
+	wantFinding(t, findings, "internal/fix/a.go", 19, "ckpt")
+	if !strings.Contains(findings[0].Msg, "Save") {
+		t.Fatalf("message should name the call, got %q", findings[0].Msg)
+	}
+}
+
+func TestCkptRuleFlagsBlankError(t *testing.T) {
+	p := loadFixture(t, "internal/fix", map[string]string{"a.go": ckptFixturePrelude + `func blank(s *Store) []byte {
+	data, _ := s.Snapshot()
+	return data
+}
+`})
+	wantFinding(t, runRule(t, p, &CkptRule{}), "internal/fix/a.go", 19, "ckpt")
+}
+
+func TestCkptRuleFlagsRecoveryRun(t *testing.T) {
+	p := loadFixture(t, "internal/fix", map[string]string{"a.go": ckptFixturePrelude + `func loop(r *Recovery) {
+	r.Run(func(int) (bool, error) { return true, nil })
+}
+`})
+	wantFinding(t, runRule(t, p, &CkptRule{}), "internal/fix/a.go", 19, "ckpt")
+}
+
+func TestCkptRuleAcceptsHandledErrors(t *testing.T) {
+	p := loadFixture(t, "internal/fix", map[string]string{"a.go": ckptFixturePrelude + `func handled(s *Store, r *Recovery) error {
+	if _, err := s.Save(1, nil); err != nil {
+		return err
+	}
+	if err := s.Restore(nil); err != nil {
+		return err
+	}
+	return r.Run(func(int) (bool, error) { return true, nil })
+}
+`})
+	if got := runRule(t, p, &CkptRule{}); len(got) != 0 {
+		t.Fatalf("handled errors should be clean, got %v", got)
+	}
+}
+
+func TestCkptRuleSkipsUnwatchedCalls(t *testing.T) {
+	// Runner.Run returns nothing and is not on a Recovery, so the bare call
+	// is fine; blanking Save's cost result while keeping its error is fine.
+	p := loadFixture(t, "internal/fix", map[string]string{"a.go": ckptFixturePrelude + `func other(r *Runner, s *Store) error {
+	r.Run()
+	_, err := s.Save(1, nil)
+	return err
+}
+`})
+	if got := runRule(t, p, &CkptRule{}); len(got) != 0 {
+		t.Fatalf("unwatched calls should be clean, got %v", got)
+	}
+}
+
+func TestCkptRuleIgnoreDirective(t *testing.T) {
+	p := loadFixture(t, "internal/fix", map[string]string{"a.go": ckptFixturePrelude + `func intentional(s *Store) {
+	//lint:ignore ckpt smoke test exercises the failure path on purpose
+	s.Save(1, nil)
+}
+`})
+	if got := runRule(t, p, &CkptRule{}); len(got) != 0 {
+		t.Fatalf("directive should suppress the finding, got %v", got)
+	}
+}

@@ -42,6 +42,23 @@ type Report struct {
 	// capacity it is normalized against in Figure 6.
 	MemoryFootprintBytes int64
 	MemoryPerNode        int64
+
+	// CheckpointSeconds is virtual time spent writing checkpoints; it is
+	// included in SimulatedSeconds. CheckpointBytes and Checkpoints size
+	// the snapshots (DESIGN.md §10).
+	CheckpointSeconds float64
+	CheckpointBytes   int64
+	Checkpoints       int
+
+	// RecoverySeconds is virtual time lost to failures: aborted-phase
+	// work, failure detection, and checkpoint restore reads. Included in
+	// SimulatedSeconds. Recoveries counts rollback-and-replay episodes,
+	// FailedPhases the phases that aborted, and ReplayedPhases the
+	// executed phases whose work a rollback discarded and redid.
+	RecoverySeconds float64
+	Recoveries      int
+	FailedPhases    int
+	ReplayedPhases  int
 }
 
 // MemoryFraction reports footprint / capacity, or 0 when no capacity was
@@ -123,6 +140,14 @@ type Collector struct {
 	messagesSent int64
 	peakBW       float64
 	memHighWater map[int]int64
+
+	ckptSec        float64
+	ckptBytes      int64
+	ckpts          int
+	recoverySec    float64
+	recoveries     int
+	failedPhases   int
+	replayedPhases int
 }
 
 // NewCollector returns a collector for a run over the given node count and
@@ -161,6 +186,41 @@ func (c *Collector) AddTraffic(bytes, messages int64, achievedBW float64) {
 	}
 }
 
+// AddCheckpoint charges one checkpoint write: wallSeconds joins the
+// simulated clock (a synchronous checkpoint stalls the run, as Pregel's
+// does) and the checkpoint tallies.
+func (c *Collector) AddCheckpoint(wallSeconds float64, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.simSeconds += wallSeconds
+	c.ckptSec += wallSeconds
+	c.ckptBytes += bytes
+	c.ckpts++
+}
+
+// AddFailedPhase charges the virtual time an aborted phase burned
+// (partial compute plus failure detection) to the simulated clock and the
+// recovery tally.
+func (c *Collector) AddFailedPhase(wallSeconds float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.simSeconds += wallSeconds
+	c.recoverySec += wallSeconds
+	c.failedPhases++
+}
+
+// AddRecovery charges one rollback: the restore read joins the simulated
+// clock, and replayedPhases records how many executed phases the rollback
+// discarded (they re-execute and charge again as ordinary phases).
+func (c *Collector) AddRecovery(restoreSeconds float64, replayedPhases int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.simSeconds += restoreSeconds
+	c.recoverySec += restoreSeconds
+	c.recoveries++
+	c.replayedPhases += replayedPhases
+}
+
 // RecordMemory raises node's memory high-water mark to at least bytes.
 func (c *Collector) RecordMemory(node int, bytes int64) {
 	c.mu.Lock()
@@ -189,6 +249,9 @@ func (c *Collector) Merge(other *Collector) {
 	bytesSent := other.bytesSent
 	messagesSent := other.messagesSent
 	peakBW := other.peakBW
+	ckptSec, ckptBytes, ckpts := other.ckptSec, other.ckptBytes, other.ckpts
+	recoverySec, recoveries := other.recoverySec, other.recoveries
+	failedPhases, replayedPhases := other.failedPhases, other.replayedPhases
 	memHighWater := make(map[int]int64, len(other.memHighWater))
 	for node, hw := range other.memHighWater {
 		memHighWater[node] = hw
@@ -203,6 +266,13 @@ func (c *Collector) Merge(other *Collector) {
 	c.busyThreadS += busyThreadS
 	c.bytesSent += bytesSent
 	c.messagesSent += messagesSent
+	c.ckptSec += ckptSec
+	c.ckptBytes += ckptBytes
+	c.ckpts += ckpts
+	c.recoverySec += recoverySec
+	c.recoveries += recoveries
+	c.failedPhases += failedPhases
+	c.replayedPhases += replayedPhases
 	if peakBW > c.peakBW {
 		c.peakBW = peakBW
 	}
@@ -226,6 +296,13 @@ func (c *Collector) Report() Report {
 		MessagesSent:         c.messagesSent,
 		PeakNetworkBandwidth: c.peakBW,
 		MemoryPerNode:        c.memPerNode,
+		CheckpointSeconds:    c.ckptSec,
+		CheckpointBytes:      c.ckptBytes,
+		Checkpoints:          c.ckpts,
+		RecoverySeconds:      c.recoverySec,
+		Recoveries:           c.recoveries,
+		FailedPhases:         c.failedPhases,
+		ReplayedPhases:       c.replayedPhases,
 	}
 	for _, hw := range c.memHighWater {
 		if hw > r.MemoryFootprintBytes {

@@ -1,6 +1,7 @@
 package native
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -248,9 +249,49 @@ func (e *Engine) bfsCluster(g *graph.CSR, opt core.BFSOptions) (*core.BFSResult,
 		c.SetBaselineMemory(node, edges*4+int64(hi-lo+1)*8+int64(hi-lo)*4+int64(hi-lo)/8)
 	}
 
-	level := int32(0)
-	for {
-		level++
+	// Fault tolerance (DESIGN.md §10): a level's inter-phase state is the
+	// distance array, the visited bitset, and the per-node frontiers; the
+	// in-flight candidate lists ride in the cluster inbox, checkpointed by
+	// the recovery driver. The level number itself is the step index, so a
+	// replayed step recomputes under the same level.
+	rec := c.Recovery(
+		func() ([]byte, error) {
+			out := codec.AppendInt32s(nil, dist)
+			out = codec.AppendUint64s(out, visited.Words())
+			for node := 0; node < c.Nodes(); node++ {
+				out = codec.AppendUint32s(out, frontiers[node])
+			}
+			return out, nil
+		},
+		func(data []byte) error {
+			d, data, err := codec.Int32s(data)
+			if err != nil {
+				return err
+			}
+			if len(d) != len(dist) {
+				return fmt.Errorf("native: checkpoint has %d distances, want %d", len(d), len(dist))
+			}
+			words, data, err := codec.Uint64s(data)
+			if err != nil {
+				return err
+			}
+			if len(words) != len(visited.Words()) {
+				return fmt.Errorf("native: checkpoint has %d visited words, want %d", len(words), len(visited.Words()))
+			}
+			restored := make([][]uint32, c.Nodes())
+			for node := 0; node < c.Nodes(); node++ {
+				if restored[node], data, err = codec.Uint32s(data); err != nil {
+					return err
+				}
+			}
+			copy(dist, d)
+			copy(visited.Words(), words)
+			copy(frontiers, restored)
+			return nil
+		})
+	var levels int
+	err = rec.Run(func(step int) (bool, error) {
+		level := graph.MustI32(int64(step)) + 1
 		anyActive := false
 		err := c.RunPhase(func(node int) error {
 			// Merge remote candidates delivered at the phase boundary.
@@ -320,11 +361,13 @@ func (e *Engine) bfsCluster(g *graph.CSR, opt core.BFSOptions) (*core.BFSResult,
 			return nil
 		})
 		if err != nil {
-			return nil, err
+			return false, err
 		}
-		if !anyActive {
-			break
-		}
+		levels = int(level)
+		return !anyActive, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	return &core.BFSResult{
@@ -332,7 +375,7 @@ func (e *Engine) bfsCluster(g *graph.CSR, opt core.BFSOptions) (*core.BFSResult,
 		Stats: core.RunStats{
 			WallSeconds: c.Report().SimulatedSeconds,
 			Simulated:   true,
-			Iterations:  int(level),
+			Iterations:  levels,
 			Report:      c.Report(),
 		},
 	}, nil

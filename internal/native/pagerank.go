@@ -224,7 +224,31 @@ func (e *Engine) pageRankCluster(g *graph.CSR, opt core.PageRankOptions) (*core.
 	}
 
 	tr := cfg.Trace
-	for it := 0; it < opt.Iterations; it++ {
+	// Fault tolerance (DESIGN.md §10): an iteration's inter-phase state is
+	// the rank, contribution, and (naive mode) previous-rank arrays; the
+	// in-flight boundary messages live in the cluster inbox, which the
+	// recovery driver checkpoints alongside. Restores copy into the
+	// existing arrays so the closures' aliases stay valid.
+	rec := c.Recovery(
+		func() ([]byte, error) {
+			out := codec.AppendFloat64s(nil, pr)
+			out = codec.AppendFloat64s(out, contrib)
+			out = codec.AppendFloat64s(out, prPrev) // empty when caching contributions
+			return out, nil
+		},
+		func(data []byte) error {
+			for _, dst := range [][]float64{pr, contrib, prPrev} {
+				var err error
+				if data, err = restoreFloat64s(data, dst); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	runIter := func(it int) (bool, error) {
+		if it >= opt.Iterations {
+			return true, nil
+		}
 		iterStart := c.VirtualSeconds()
 		err := c.RunPhase(func(node int) error {
 			// Apply contributions received from the previous iteration.
@@ -257,7 +281,7 @@ func (e *Engine) pageRankCluster(g *graph.CSR, opt core.PageRankOptions) (*core.
 			return nil
 		})
 		if err != nil {
-			return nil, err
+			return false, err
 		}
 		// Refresh local contributions and ship boundary values. Done as a
 		// separate loop so every node's reads of contrib (above) complete
@@ -297,10 +321,14 @@ func (e *Engine) pageRankCluster(g *graph.CSR, opt core.PageRankOptions) (*core.
 			}
 			return nil
 		}); err != nil {
-			return nil, err
+			return false, err
 		}
 		tr.RecordVirtual(trace.PidEngine, "native.pr.iter", fmt.Sprintf("iteration %d", it),
 			iterStart, c.VirtualSeconds()-iterStart, nil)
+		return false, nil
+	}
+	if err := rec.Run(runIter); err != nil {
+		return nil, err
 	}
 
 	return &core.PageRankResult{
@@ -312,6 +340,21 @@ func (e *Engine) pageRankCluster(g *graph.CSR, opt core.PageRankOptions) (*core.
 			Report:      c.Report(),
 		},
 	}, nil
+}
+
+// restoreFloat64s decodes the next checkpointed array into dst — which
+// must have the length the snapshot recorded — and returns the remaining
+// bytes. Copying in place keeps every alias of dst valid across a restore.
+func restoreFloat64s(data []byte, dst []float64) ([]byte, error) {
+	vals, rest, err := codec.Float64s(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(vals) != len(dst) {
+		return nil, fmt.Errorf("native: checkpoint array has %d values, want %d", len(vals), len(dst))
+	}
+	copy(dst, vals)
+	return rest, nil
 }
 
 // encodePRMessage packs (id, contribution) pairs. Uncompressed: 4-byte id +
