@@ -9,9 +9,11 @@
 //
 // Flags:
 //
-//	-json   emit findings as a JSON array instead of text
-//	-list   print the available rules and exit
-//	-rules  comma-separated subset of rules to run (default: all)
+//	-json            emit findings as a JSON array instead of text
+//	-list            print the available rules and exit
+//	-rules           comma-separated subset of rules to run (default: all)
+//	-baseline        suppression file: only findings not in it fail the run
+//	-write-baseline  regenerate the baseline from the current findings
 package main
 
 import (
@@ -28,6 +30,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")
 	list := flag.Bool("list", false, "list available rules and exit")
 	ruleFilter := flag.String("rules", "", "comma-separated subset of rules to run")
+	baselinePath := flag.String("baseline", "", "baseline file: findings recorded in it are suppressed")
+	writeBaseline := flag.Bool("write-baseline", false, "regenerate the baseline file from the current findings and exit")
 	flag.Parse()
 
 	if *list {
@@ -72,6 +76,27 @@ func main() {
 	pkgs = filterPackages(pkgs, flag.Args())
 
 	findings := lint.Run(pkgs, rules)
+
+	if *writeBaseline {
+		path := *baselinePath
+		if path == "" {
+			path = "lint.baseline.json"
+		}
+		if err := lint.WriteBaseline(path, findings); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "graphlint: wrote %d finding(s) to %s\n", len(findings), path)
+		return
+	}
+	var suppressed []lint.Finding
+	if *baselinePath != "" {
+		base, err := lint.ReadBaseline(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		findings, suppressed = base.Apply(findings)
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -85,6 +110,9 @@ func main() {
 		for _, f := range findings {
 			fmt.Println(f)
 		}
+	}
+	if len(suppressed) > 0 && !*jsonOut {
+		fmt.Fprintf(os.Stderr, "graphlint: %d baselined finding(s) suppressed\n", len(suppressed))
 	}
 	if len(findings) > 0 {
 		if !*jsonOut {

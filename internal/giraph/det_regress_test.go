@@ -1,0 +1,49 @@
+package giraph
+
+import (
+	goruntime "runtime"
+	"testing"
+)
+
+// TestCombinerFlushDeterministicAcrossRuns pins the graphlint det fix in
+// the combiner flush path: staged per-slot maps are drained in sorted
+// destination order, so repeated runs — within a process (fresh map seed
+// per map) and across GOMAXPROCS values — must produce bit-identical
+// vertex values, not just values equal up to float reordering.
+func TestCombinerFlushDeterministicAcrossRuns(t *testing.T) {
+	g := fixtureDirected(t)
+	run := func() *Result {
+		j := &Job{
+			Graph:         g,
+			Init:          func(uint32) any { return float64(1) },
+			MaxSupersteps: 3,
+			MessageBytes:  func(any) int { return 8 },
+			Combiner:      func(a, b any) any { return a.(float64) + b.(float64) },
+		}
+		j.Compute = prCompute(j, 0.3)
+		res, err := Run(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	want := run()
+	for _, procs := range []int{1, goruntime.NumCPU()} {
+		prev := goruntime.GOMAXPROCS(procs)
+		a, b := run(), run()
+		goruntime.GOMAXPROCS(prev)
+		for _, got := range []*Result{a, b} {
+			if got.Supersteps != want.Supersteps || got.Counter != want.Counter {
+				t.Fatalf("GOMAXPROCS=%d: supersteps/counter drifted: %d/%d vs %d/%d",
+					procs, got.Supersteps, got.Counter, want.Supersteps, want.Counter)
+			}
+			for i := range want.Values {
+				if got.Values[i].(float64) != want.Values[i].(float64) {
+					t.Fatalf("GOMAXPROCS=%d: vertex %d not bit-identical: %v vs %v",
+						procs, i, got.Values[i], want.Values[i])
+				}
+			}
+		}
+	}
+}

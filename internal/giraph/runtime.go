@@ -397,9 +397,17 @@ func Run(job *Job) (*Result, error) {
 			}
 			// Flush: build the next inbox from the staged envelopes.
 			if job.Combiner != nil {
+				// Each slot map is flushed in sorted destination order:
+				// checkpoints encode the inbox byte-for-byte, so the
+				// flush order must not depend on map iteration order.
 				for _, m := range rt.stagingMap {
-					for to, msg := range m {
-						rt.nextInbox[to] = append(rt.nextInbox[to], msg)
+					dests := make([]uint32, 0, len(m))
+					for to := range m {
+						dests = append(dests, to)
+					}
+					sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
+					for _, to := range dests {
+						rt.nextInbox[to] = append(rt.nextInbox[to], m[to])
 						stepMsgs++
 					}
 				}

@@ -102,12 +102,13 @@ func runLocal[V, G any](g *graph.CSR, in *graph.CSR, spec Spec[V, G]) runResult[
 			id  uint32
 			val V
 		}
-		var allPending []pending
+		// At most every active vertex defers one write per round.
+		allPending := make([]pending, 0, active.Count())
 		// The sweep's per-vertex cost is the in-degree gather plus the
 		// out-degree scatter — skewed on power-law graphs, and further
 		// warped by the active set — so chunks are claimed dynamically.
 		par.ForDynamic(int(n), 0, func(lo, hi int) {
-			var local []pending
+			local := make([]pending, 0, hi-lo)
 			localActivity := false
 			for v := uint32(lo); v < uint32(hi); v++ {
 				if !active.Get(v) {

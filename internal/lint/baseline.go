@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// This file implements the suppression baseline: a checked-in JSON file
+// recording the findings a repo has accepted (with reasons handled via
+// lint:ignore) or not yet paid down. CI applies the baseline so only NEW
+// findings fail the build; -write-baseline regenerates it. Entries are
+// keyed on (file, rule, message) with a count rather than on line
+// numbers, so unrelated edits that shift lines do not invalidate the
+// baseline, while any new instance of a baselined pattern still fails.
+
+// BaselineEntry is one accepted finding pattern.
+type BaselineEntry struct {
+	File  string `json:"file"`
+	Rule  string `json:"rule"`
+	Msg   string `json:"message"`
+	Count int    `json:"count"`
+}
+
+// Baseline is the parsed suppression file.
+type Baseline struct {
+	Entries []BaselineEntry `json:"findings"`
+}
+
+type baselineKey struct {
+	file, rule, msg string
+}
+
+// ReadBaseline loads a baseline file. A missing file yields an empty
+// baseline (everything is new), not an error.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBaseline writes the findings as a fresh baseline file, sorted and
+// aggregated so regeneration is reproducible.
+func WriteBaseline(path string, findings []Finding) error {
+	b := NewBaseline(findings)
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// NewBaseline aggregates findings into baseline entries.
+func NewBaseline(findings []Finding) *Baseline {
+	counts := make(map[baselineKey]int)
+	for _, f := range findings {
+		counts[baselineKey{f.File, f.Rule, f.Msg}]++
+	}
+	keys := make([]baselineKey, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.rule != b.rule {
+			return a.rule < b.rule
+		}
+		return a.msg < b.msg
+	})
+	b := &Baseline{Entries: make([]BaselineEntry, 0, len(keys))}
+	for _, k := range keys {
+		b.Entries = append(b.Entries, BaselineEntry{File: k.file, Rule: k.rule, Msg: k.msg, Count: counts[k]})
+	}
+	return b
+}
+
+// Apply splits findings into new (not covered by the baseline) and
+// suppressed (covered). Each baseline entry absorbs up to Count findings
+// with the same file, rule, and message; any excess instance of a
+// baselined pattern is still new.
+func (b *Baseline) Apply(findings []Finding) (fresh, suppressed []Finding) {
+	budget := make(map[baselineKey]int, len(b.Entries))
+	for _, e := range b.Entries {
+		budget[baselineKey{e.File, e.Rule, e.Msg}] += e.Count
+	}
+	for _, f := range findings {
+		k := baselineKey{f.File, f.Rule, f.Msg}
+		if budget[k] > 0 {
+			budget[k]--
+			suppressed = append(suppressed, f)
+		} else {
+			fresh = append(fresh, f)
+		}
+	}
+	return fresh, suppressed
+}

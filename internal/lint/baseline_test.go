@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestBaselineApplySplitsNewFromKnown(t *testing.T) {
+	known := Finding{File: "a.go", Line: 10, Rule: "det", Msg: "map order leak"}
+	base := NewBaseline([]Finding{known})
+
+	shifted := known
+	shifted.Line = 99 // line drift must not invalidate the baseline
+	fresh := Finding{File: "a.go", Line: 11, Rule: "lock", Msg: "leak on return"}
+
+	newF, supp := base.Apply([]Finding{shifted, fresh})
+	if len(supp) != 1 || supp[0].Rule != "det" {
+		t.Fatalf("baselined finding should be suppressed despite line drift, got supp=%v", supp)
+	}
+	if len(newF) != 1 || newF[0].Rule != "lock" {
+		t.Fatalf("non-baselined finding must stay, got %v", newF)
+	}
+}
+
+func TestBaselineCountBoundsSuppression(t *testing.T) {
+	f := Finding{File: "a.go", Line: 1, Rule: "hotalloc", Msg: "append without preallocation"}
+	base := NewBaseline([]Finding{f}) // count 1
+	dup := f
+	dup.Line = 2
+	newF, supp := base.Apply([]Finding{f, dup})
+	if len(supp) != 1 || len(newF) != 1 {
+		t.Fatalf("a second instance of a baselined pattern is new, got new=%v supp=%v", newF, supp)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lint.baseline.json")
+	findings := []Finding{
+		{File: "b.go", Line: 3, Rule: "det", Msg: "x"},
+		{File: "a.go", Line: 1, Rule: "lock", Msg: "y"},
+		{File: "a.go", Line: 2, Rule: "lock", Msg: "y"},
+	}
+	if err := WriteBaseline(path, findings); err != nil {
+		t.Fatal(err)
+	}
+	base, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Entries) != 2 {
+		t.Fatalf("want 2 aggregated entries, got %v", base.Entries)
+	}
+	if base.Entries[0].File != "a.go" || base.Entries[0].Count != 2 {
+		t.Fatalf("entries must be sorted and counted, got %v", base.Entries)
+	}
+	newF, _ := base.Apply(findings)
+	if len(newF) != 0 {
+		t.Fatalf("round-tripped baseline must cover its own findings, got %v", newF)
+	}
+}
+
+func TestBaselineMissingFileIsEmpty(t *testing.T) {
+	base, err := ReadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Finding{File: "a.go", Line: 1, Rule: "det", Msg: "x"}
+	newF, supp := base.Apply([]Finding{f})
+	if len(newF) != 1 || len(supp) != 0 {
+		t.Fatalf("missing baseline suppresses nothing, got new=%v supp=%v", newF, supp)
+	}
+}

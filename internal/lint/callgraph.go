@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file builds a package-level call graph with one summary per
+// declared function. Summaries record the same-package functions a
+// function calls statically plus the impurity facts the determinism
+// rules care about: direct wall-clock reads (time.Now / time.Since) and
+// uses of the unseeded global math/rand generator. Reachability queries
+// close the summaries transitively within the package; calls into other
+// packages are not followed (each package is analyzed with its own
+// graph).
+
+// FuncSummary is the per-function record of a CallGraph.
+type FuncSummary struct {
+	// Obj is the function's type object.
+	Obj *types.Func
+	// Decl is the function's declaration.
+	Decl *ast.FuncDecl
+	// Callees lists the same-package functions called (statically) from
+	// the body, including from nested function literals.
+	Callees []*types.Func
+	// WallClock reports a direct call to time.Now or time.Since.
+	WallClock bool
+	// WallClockPos is the first such call site.
+	WallClockPos token.Pos
+	// GlobalRand reports a direct call to a package-level math/rand
+	// function (the process-global, unseeded generator). Constructing a
+	// seeded *rand.Rand via rand.New/rand.NewSource does not count.
+	GlobalRand bool
+	// GlobalRandPos is the first such call site.
+	GlobalRandPos token.Pos
+}
+
+// CallGraph is the package-level call graph.
+type CallGraph struct {
+	pkg   *Package
+	funcs map[*types.Func]*FuncSummary
+	memo  map[reachQuery]bool
+}
+
+type reachQuery struct {
+	fn   *types.Func
+	what int // 0: wall clock, 1: global rand
+}
+
+// BuildCallGraph walks every function declaration in p and records its
+// summary.
+func BuildCallGraph(p *Package) *CallGraph {
+	g := &CallGraph{pkg: p, funcs: make(map[*types.Func]*FuncSummary), memo: make(map[reachQuery]bool)}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := p.Info.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			s := &FuncSummary{Obj: obj, Decl: fn}
+			seen := make(map[*types.Func]bool)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(p, call)
+				if callee == nil {
+					return true
+				}
+				switch {
+				case isWallClockFunc(callee):
+					if !s.WallClock {
+						s.WallClock, s.WallClockPos = true, call.Pos()
+					}
+				case isGlobalRandFunc(callee):
+					if !s.GlobalRand {
+						s.GlobalRand, s.GlobalRandPos = true, call.Pos()
+					}
+				case callee.Pkg() == p.Types && !seen[callee]:
+					seen[callee] = true
+					s.Callees = append(s.Callees, callee)
+				}
+				return true
+			})
+			g.funcs[obj] = s
+		}
+	}
+	return g
+}
+
+// Summary returns fn's summary, or nil for functions not declared in the
+// package (methods of other packages, builtins).
+func (g *CallGraph) Summary(fn *types.Func) *FuncSummary { return g.funcs[fn] }
+
+// ReachesWallClock reports whether fn can reach time.Now/time.Since
+// through same-package calls.
+func (g *CallGraph) ReachesWallClock(fn *types.Func) bool { return g.reaches(fn, 0, nil) }
+
+// ReachesGlobalRand reports whether fn can reach the global math/rand
+// generator through same-package calls.
+func (g *CallGraph) ReachesGlobalRand(fn *types.Func) bool { return g.reaches(fn, 1, nil) }
+
+func (g *CallGraph) reaches(fn *types.Func, what int, path map[*types.Func]bool) bool {
+	q := reachQuery{fn, what}
+	if v, ok := g.memo[q]; ok {
+		return v
+	}
+	s := g.funcs[fn]
+	if s == nil {
+		return false
+	}
+	if (what == 0 && s.WallClock) || (what == 1 && s.GlobalRand) {
+		g.memo[q] = true
+		return true
+	}
+	if path == nil {
+		path = make(map[*types.Func]bool)
+	}
+	if path[fn] {
+		return false // cycle: no new evidence on this path
+	}
+	path[fn] = true
+	for _, callee := range s.Callees {
+		if g.reaches(callee, what, path) {
+			g.memo[q] = true
+			delete(path, fn)
+			return true
+		}
+	}
+	delete(path, fn)
+	g.memo[q] = false
+	return false
+}
+
+// calleeFunc statically resolves the function a call invokes: a plain
+// identifier, a package-qualified function, or a method. Calls through
+// function values and interfaces resolve to nil.
+func calleeFunc(p *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok && sel.Kind() == types.MethodVal {
+				return fn
+			}
+			return nil
+		}
+		fn, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isWallClockFunc reports whether fn is time.Now or time.Since.
+func isWallClockFunc(fn *types.Func) bool {
+	return fn.Pkg() != nil && fn.Pkg().Path() == "time" &&
+		(fn.Name() == "Now" || fn.Name() == "Since")
+}
+
+// isGlobalRandFunc reports whether fn is a package-level math/rand
+// function drawing from the process-global generator. rand.New and
+// rand.NewSource construct explicitly seeded generators and are exempt.
+func isGlobalRandFunc(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "math/rand" {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false // methods on an explicit *rand.Rand are seeded
+	}
+	return fn.Name() != "New" && fn.Name() != "NewSource"
+}

@@ -1,0 +1,400 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file builds intraprocedural control-flow graphs over go/ast
+// statements. Blocks hold *linearized* nodes: plain statements plus the
+// condition/tag expressions of the control statements that end them —
+// never the nested statement bodies, which become blocks of their own.
+// Rules therefore apply their transfer functions to shallow nodes only
+// (see inspectShallow, which also stops at nested function literals:
+// those get their own CFGs).
+//
+// The builder handles if/else chains, for and range loops (with break,
+// continue, and labels), switch/type-switch (with fallthrough), select,
+// early returns, and panic-as-terminator. goto is modeled conservatively
+// as an edge to the exit block; the module does not use it.
+
+// Block is one straight-line run of nodes with explicit successors.
+type Block struct {
+	// Index is the block's position in CFG.Blocks (entry is 0).
+	Index int
+	// Nodes are the statements and control expressions executed in order.
+	Nodes []ast.Node
+	// Succs are the possible successor blocks.
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks lists every block; Blocks[0] is the entry.
+	Blocks []*Block
+	// Exit is the virtual exit block: every return (and the fall-off-end
+	// path) has an edge to it. It holds no nodes.
+	Exit *Block
+}
+
+// BuildCFG constructs the control-flow graph of body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}}
+	entry := b.newBlock()
+	b.cfg.Exit = &Block{Index: -1}
+	b.cur = entry
+	b.stmtList(body.List)
+	b.link(b.cur, b.cfg.Exit)
+	b.cfg.Exit.Index = len(b.cfg.Blocks)
+	b.cfg.Blocks = append(b.cfg.Blocks, b.cfg.Exit)
+	return b.cfg
+}
+
+// loopFrame is one enclosing breakable/continuable construct.
+type loopFrame struct {
+	label string
+	brk   *Block // break target
+	cont  *Block // continue target (nil for switch/select)
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	cur    *Block
+	frames []*loopFrame
+	// fallthroughTo is the next case-clause block while building a switch
+	// clause body.
+	fallthroughTo *Block
+	// pendingLabel is the label of the LabeledStmt currently being
+	// entered, consumed by the next loop/switch/select.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) link(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) pushFrame(label string, brk, cont *Block) *loopFrame {
+	f := &loopFrame{label: label, brk: brk, cont: cont}
+	b.frames = append(b.frames, f)
+	return f
+}
+
+func (b *cfgBuilder) popFrame() {
+	b.frames = b.frames[:len(b.frames)-1]
+}
+
+// findFrame resolves a break/continue target; label "" means innermost.
+func (b *cfgBuilder) findFrame(label string, needCont bool) *loopFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if needCont && f.cont == nil {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, b.takeLabel())
+	case *ast.RangeStmt:
+		b.rangeStmt(s, b.takeLabel())
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, s.Body, b.takeLabel())
+	case *ast.TypeSwitchStmt:
+		// The assign (x := y.(type)) is part of the switch head.
+		b.switchStmt(s.Init, s.Assign, s.Body, b.takeLabel())
+	case *ast.SelectStmt:
+		b.selectStmt(s, b.takeLabel())
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.link(b.cur, b.cfg.Exit)
+		b.cur = b.newBlock() // unreachable continuation
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	default:
+		// Plain statement: assignments, declarations, expression
+		// statements, go, defer, send, incdec, empty.
+		b.add(s)
+		if isTerminatorStmt(s) {
+			b.link(b.cur, b.cfg.Exit)
+			b.cur = b.newBlock()
+		}
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	head := b.cur
+	join := b.newBlock()
+
+	thenB := b.newBlock()
+	b.link(head, thenB)
+	b.cur = thenB
+	b.stmtList(s.Body.List)
+	b.link(b.cur, join)
+
+	if s.Else != nil {
+		elseB := b.newBlock()
+		b.link(head, elseB)
+		b.cur = elseB
+		b.stmt(s.Else)
+		b.link(b.cur, join)
+	} else {
+		b.link(head, join)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock()
+	b.link(b.cur, head)
+	b.cur = head
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+	join := b.newBlock()
+	cont := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock()
+		post.Nodes = append(post.Nodes, s.Post)
+		b.link(post, head)
+		cont = post
+	}
+	if s.Cond != nil {
+		b.link(head, join)
+	}
+	// for {} with no break leaves join with no in-edges; the solver
+	// treats blocks without reachable predecessors as unreachable.
+	b.pushFrame(label, join, cont)
+	body := b.newBlock()
+	b.link(head, body)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.link(b.cur, cont)
+	b.popFrame()
+	b.cur = join
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt, label string) {
+	// The range head evaluates X once; key/value assignment repeats per
+	// iteration. The RangeStmt's X (and the statement itself, for rules
+	// that match on it) live in the head block.
+	head := b.newBlock()
+	b.link(b.cur, head)
+	head.Nodes = append(head.Nodes, s.X)
+	join := b.newBlock()
+	b.link(head, join)
+	b.pushFrame(label, join, head)
+	body := b.newBlock()
+	b.link(head, body)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.link(b.cur, head)
+	b.popFrame()
+	b.cur = join
+}
+
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Node, body *ast.BlockStmt, label string) {
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	head := b.cur
+	join := b.newBlock()
+	b.pushFrame(label, join, nil)
+
+	var clauses []*ast.CaseClause
+	for _, cs := range body.List {
+		if cc, ok := cs.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+		b.link(head, blocks[i])
+	}
+	hasDefault := false
+	for i, cc := range clauses {
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.cur = blocks[i]
+		for _, cond := range cc.List {
+			b.add(cond)
+		}
+		if i+1 < len(clauses) {
+			b.fallthroughTo = blocks[i+1]
+		} else {
+			b.fallthroughTo = nil
+		}
+		b.stmtList(cc.Body)
+		b.fallthroughTo = nil
+		b.link(b.cur, join)
+	}
+	if !hasDefault {
+		b.link(head, join)
+	}
+	b.popFrame()
+	b.cur = join
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.cur
+	join := b.newBlock()
+	b.pushFrame(label, join, nil)
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock()
+		b.link(head, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.add(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.link(b.cur, join)
+	}
+	b.popFrame()
+	b.cur = join
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if f := b.findFrame(label, false); f != nil {
+			b.link(b.cur, f.brk)
+		} else {
+			b.link(b.cur, b.cfg.Exit)
+		}
+		b.cur = b.newBlock()
+	case token.CONTINUE:
+		if f := b.findFrame(label, true); f != nil {
+			b.link(b.cur, f.cont)
+		} else {
+			b.link(b.cur, b.cfg.Exit)
+		}
+		b.cur = b.newBlock()
+	case token.FALLTHROUGH:
+		if b.fallthroughTo != nil {
+			b.link(b.cur, b.fallthroughTo)
+		}
+		b.cur = b.newBlock()
+	case token.GOTO:
+		// Conservative: goto may reach anywhere; treat as function exit
+		// so facts are not propagated along an edge we do not model.
+		b.link(b.cur, b.cfg.Exit)
+		b.cur = b.newBlock()
+	}
+}
+
+// isTerminatorStmt reports whether s never falls through: a call to
+// panic, os.Exit, or runtime.Goexit as a statement.
+func isTerminatorStmt(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return (id.Name == "os" && fun.Sel.Name == "Exit") ||
+				(id.Name == "runtime" && fun.Sel.Name == "Goexit")
+		}
+	}
+	return false
+}
+
+// inspectShallow walks n without descending into nested function
+// literals: a FuncLit's body belongs to its own CFG, not the enclosing
+// function's blocks.
+func inspectShallow(n ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		return visit(m)
+	})
+}
+
+// funcBodies yields every function body in the file — declarations and
+// function literals — with the enclosing declaration (the literal
+// inherits the declaration it appears in).
+func funcBodies(file *ast.File, visit func(decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		visit(fn, fn.Body)
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				visit(fn, lit.Body)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,250 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses src (one file) and returns the body of the named
+// function.
+func parseBody(t *testing.T, src, fn string) *ast.BlockStmt {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			return fd.Body
+		}
+	}
+	t.Fatalf("function %s not found", fn)
+	return nil
+}
+
+const cfgFixture = `package fix
+
+func f(xs []int, c bool) int {
+	total := 0
+	if c {
+		return -1
+	}
+	for i := 0; i < len(xs); i++ {
+		if xs[i] < 0 {
+			continue
+		}
+		if xs[i] > 100 {
+			break
+		}
+		total += xs[i]
+	}
+	for _, x := range xs {
+		total -= x
+	}
+	switch total {
+	case 0:
+		return 0
+	default:
+		total++
+	}
+	return total
+}
+`
+
+func TestBuildCFGShape(t *testing.T) {
+	cfg := BuildCFG(parseBody(t, cfgFixture, "f"))
+	if cfg.Exit == nil || len(cfg.Exit.Succs) != 0 || len(cfg.Exit.Nodes) != 0 {
+		t.Fatalf("exit block must exist with no nodes and no successors: %+v", cfg.Exit)
+	}
+	if len(cfg.Blocks) < 10 {
+		t.Fatalf("branches+loops+switch should produce many blocks, got %d", len(cfg.Blocks))
+	}
+	// Every return statement's block must edge to Exit.
+	returns, returnEdges := 0, 0
+	for _, b := range cfg.Blocks {
+		hasReturn := false
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				hasReturn = true
+				returns++
+			}
+		}
+		if !hasReturn {
+			continue
+		}
+		for _, s := range b.Succs {
+			if s == cfg.Exit {
+				returnEdges++
+			}
+		}
+	}
+	if returns != 3 || returnEdges != 3 {
+		t.Fatalf("want 3 returns each with an exit edge, got returns=%d edges=%d", returns, returnEdges)
+	}
+	// Entry must reach Exit.
+	seen := make(map[*Block]bool)
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(cfg.Blocks[0])
+	if !seen[cfg.Exit] {
+		t.Fatal("exit unreachable from entry")
+	}
+}
+
+// assignedLattice is a test lattice: the set of names definitely assigned
+// on every path (must-analysis: join is intersection). A nil map is
+// Bottom (unreachable path).
+type assignedLattice struct{}
+
+func (assignedLattice) Entry() map[string]bool  { return map[string]bool{} }
+func (assignedLattice) Bottom() map[string]bool { return nil }
+
+func (assignedLattice) Join(a, b map[string]bool) map[string]bool {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := map[string]bool{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func (assignedLattice) Equal(a, b map[string]bool) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (assignedLattice) Transfer(f map[string]bool, n ast.Node) map[string]bool {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok || f == nil {
+		return f
+	}
+	out := map[string]bool{}
+	for k := range f {
+		out[k] = true
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			out[id.Name] = true
+		}
+	}
+	return out
+}
+
+const solveFixture = `package fix
+
+func g(c bool) int {
+	x := 1
+	if c {
+		y := 2
+		_ = y
+		return x + y
+	}
+	z := 3
+	for i := 0; i < z; i++ {
+		w := i
+		_ = w
+	}
+	return x + z
+}
+`
+
+func TestSolveMustAssignedAcrossBranchesLoopsAndEarlyReturn(t *testing.T) {
+	cfg := BuildCFG(parseBody(t, solveFixture, "g"))
+	in := Solve(cfg, assignedLattice{})
+
+	atExit := in[cfg.Exit.Index]
+	if atExit == nil {
+		t.Fatal("exit must be reachable")
+	}
+	// x is assigned on both return paths; y only on the early return, z
+	// and i only on the fall-through path — the join at exit keeps x alone.
+	if !atExit["x"] {
+		t.Errorf("x must be definitely assigned at exit, fact=%v", atExit)
+	}
+	for _, name := range []string{"y", "z", "i", "w"} {
+		if atExit[name] {
+			t.Errorf("%s is branch-local and must not survive the exit join, fact=%v", name, atExit)
+		}
+	}
+	// The loop body (the block assigning w) must already know z and i.
+	found := false
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				continue
+			}
+			if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "w" {
+				found = true
+				fact := in[b.Index]
+				if fact == nil || !fact["x"] || !fact["z"] || !fact["i"] {
+					t.Errorf("loop body must see x, z, i assigned, fact=%v", fact)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("did not find the loop-body block")
+	}
+	// The dangling block after the early return is unreachable: Bottom.
+	bottoms := 0
+	for _, b := range cfg.Blocks {
+		if in[b.Index] == nil {
+			bottoms++
+		}
+	}
+	if bottoms == 0 {
+		t.Error("expected at least one unreachable (Bottom) block after the early return")
+	}
+}
+
+func TestSolveLoopReachesFixpoint(t *testing.T) {
+	// A loop whose body assigns a new name: the head's fact must converge
+	// (the name never becomes must-assigned at the head because iteration
+	// zero skips the body).
+	src := `package fix
+
+func h(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		t := i
+		s = s + t
+	}
+	return s
+}
+`
+	cfg := BuildCFG(parseBody(t, src, "h"))
+	in := Solve(cfg, assignedLattice{})
+	atExit := in[cfg.Exit.Index]
+	if atExit == nil || !atExit["s"] || !atExit["i"] {
+		t.Fatalf("s and i assigned before/at loop head, fact=%v", atExit)
+	}
+	if atExit["t"] {
+		t.Fatalf("t is only assigned inside the loop body and must not be must-assigned at exit, fact=%v", atExit)
+	}
+}

@@ -1,0 +1,75 @@
+package lint
+
+import "go/ast"
+
+// This file implements a generic forward dataflow fixpoint solver over
+// the CFGs built in cfg.go. A rule supplies a Lattice: the fact type, the
+// entry fact, the join, and the per-node transfer function. The solver
+// iterates to a fixpoint and returns the fact at every block entry; rules
+// then replay the transfer function through a block to recover facts at
+// individual statements.
+
+// Lattice describes one forward dataflow problem. F is the fact type.
+// Transfer must be monotone with respect to Join for the solver to
+// terminate; the solver additionally bounds its iteration count as a
+// backstop against non-monotone transfer functions.
+type Lattice[F any] interface {
+	// Entry is the fact holding at function entry.
+	Entry() F
+	// Bottom is the identity of Join: the fact of an unreachable path.
+	Bottom() F
+	// Join merges facts flowing in from two predecessors.
+	Join(a, b F) F
+	// Equal reports whether two facts are indistinguishable (fixpoint
+	// detection).
+	Equal(a, b F) bool
+	// Transfer applies one linearized CFG node to the fact.
+	Transfer(f F, n ast.Node) F
+}
+
+// Solve runs the forward fixpoint and returns the fact at each block's
+// entry, indexed by Block.Index. Unreachable blocks keep Bottom.
+func Solve[F any](cfg *CFG, lat Lattice[F]) []F {
+	in := make([]F, len(cfg.Blocks))
+	for i := range in {
+		in[i] = lat.Bottom()
+	}
+	in[0] = lat.Entry()
+
+	// Worklist iteration; the bound is generous (facts per block times a
+	// small constant) and exists only to guarantee termination if a rule
+	// ships a non-monotone transfer function.
+	work := make([]*Block, 0, len(cfg.Blocks))
+	queued := make([]bool, len(cfg.Blocks))
+	push := func(b *Block) {
+		if !queued[b.Index] {
+			queued[b.Index] = true
+			work = append(work, b)
+		}
+	}
+	push(cfg.Blocks[0])
+	maxSteps := 64 * len(cfg.Blocks) * (len(cfg.Blocks) + 1)
+	for steps := 0; len(work) > 0 && steps < maxSteps; steps++ {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+		out := FlowThrough(lat, in[b.Index], b)
+		for _, s := range b.Succs {
+			merged := lat.Join(in[s.Index], out)
+			if !lat.Equal(merged, in[s.Index]) {
+				in[s.Index] = merged
+				push(s)
+			}
+		}
+	}
+	return in
+}
+
+// FlowThrough applies the block's nodes to fact in order and returns the
+// fact at block exit.
+func FlowThrough[F any](lat Lattice[F], fact F, b *Block) F {
+	for _, n := range b.Nodes {
+		fact = lat.Transfer(fact, n)
+	}
+	return fact
+}

@@ -4,7 +4,12 @@
 // fire-and-forget goroutines in engine code, no panics in library paths,
 // no silent 64-bit → 32-bit index truncation, no trace spans dropped by a
 // missed End(), no discarded checkpoint/restore errors, and doc comments on
-// every exported engine API.
+// every exported engine API. On top of the per-node checks, a small
+// dataflow layer (cfg.go, dataflow.go, callgraph.go) powers three deeper
+// rule families: det (nondeterminism: map-order leaks, wall clock and
+// global rand in kernels and codecs, float accumulation order), lock
+// (mutex discipline across CFG paths and guarded fields across functions),
+// and hotalloc (allocation patterns inside par.For* kernel bodies).
 //
 // The analyzer is built only on the standard library (go/parser, go/ast,
 // go/types): Load parses and type-checks the module from source, Run applies
@@ -69,7 +74,10 @@ func DefaultRules() []Rule {
 	return []Rule{
 		&AtomicRule{},
 		&CkptRule{},
+		&DetRule{},
 		&GoroutineRule{},
+		&HotAllocRule{},
+		&LockRule{},
 		&PanicRule{},
 		&SpanRule{},
 		&TruncateRule{},
@@ -120,6 +128,10 @@ func Run(pkgs []*Package, rules []Rule) []Finding {
 		// Directives that name an unknown rule are themselves findings:
 		// a typo in an ignore comment must not silently disable nothing.
 		findings = append(findings, ignores.bad...)
+		// Directives whose rule ran but suppressed nothing are stale: the
+		// code they excused has moved or been fixed, so they must go before
+		// they hide a future real finding on the same line.
+		findings = append(findings, ignores.unused(rules)...)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		if findings[i].File != findings[j].File {
@@ -144,7 +156,9 @@ type ignoreDirective struct {
 
 type ignoreSet struct {
 	directives []ignoreDirective
-	bad        []Finding
+	// used marks directives that suppressed at least one finding this run.
+	used []bool
+	bad  []Finding
 }
 
 // collectIgnores parses the lint directives of every file in p.
@@ -161,11 +175,11 @@ func collectIgnores(p *Package) *ignoreSet {
 				text = strings.TrimSpace(text)
 				var whole bool
 				switch {
-				case strings.HasPrefix(text, "lint:ignore"):
-					text = strings.TrimPrefix(text, "lint:ignore")
-				case strings.HasPrefix(text, "lint:file-ignore"):
+				case isDirective(text, "lint:file-ignore"):
 					text = strings.TrimPrefix(text, "lint:file-ignore")
 					whole = true
+				case isDirective(text, "lint:ignore"):
+					text = strings.TrimPrefix(text, "lint:ignore")
 				default:
 					continue
 				}
@@ -200,17 +214,58 @@ func collectIgnores(p *Package) *ignoreSet {
 	return set
 }
 
+// isDirective reports whether text is the directive word followed by a
+// space: prose that merely mentions a directive name mid-sentence (or runs
+// it into punctuation) is not a directive.
+func isDirective(text, word string) bool {
+	rest, ok := strings.CutPrefix(text, word)
+	return ok && strings.HasPrefix(rest, " ")
+}
+
 // suppressed reports whether f is covered by a directive: a file-ignore for
-// the same rule anywhere in the file, or a line ignore on the finding's line
-// or the line directly above it.
+// the same rule anywhere in the file, or a line ignore for the same rule on
+// the finding's line or the line directly above it. Matching directives are
+// marked used so stale ones can be reported afterwards.
 func (s *ignoreSet) suppressed(f Finding) bool {
-	for _, d := range s.directives {
+	if s.used == nil {
+		s.used = make([]bool, len(s.directives))
+	}
+	hit := false
+	for i, d := range s.directives {
 		if d.file != f.File || d.rule != f.Rule {
 			continue
 		}
 		if d.whole || d.line == f.Line || d.line == f.Line-1 {
-			return true
+			s.used[i] = true
+			hit = true
 		}
 	}
-	return false
+	return hit
+}
+
+// unused returns an "ignore" hygiene finding for every directive whose rule
+// was part of this run but which suppressed nothing: the violation it once
+// excused is gone, and a stale directive would silently swallow the next
+// real finding on its line.
+func (s *ignoreSet) unused(rules []Rule) []Finding {
+	ran := make(map[string]bool, len(rules))
+	for _, r := range rules {
+		ran[r.Name()] = true
+	}
+	var out []Finding
+	for i, d := range s.directives {
+		if (s.used != nil && s.used[i]) || !ran[d.rule] {
+			continue
+		}
+		kind := "lint:ignore"
+		if d.whole {
+			kind = "lint:file-ignore"
+		}
+		out = append(out, Finding{
+			File: d.file, Line: d.line, Col: 1,
+			Rule: "ignore",
+			Msg:  fmt.Sprintf("%s %s suppresses nothing; delete the stale directive", kind, d.rule),
+		})
+	}
+	return out
 }

@@ -1,0 +1,501 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockRule enforces mutex discipline with the CFG forward-dataflow
+// engine: every sync.Mutex/RWMutex Lock must be released on every path
+// out of the function (an Unlock on the path or a defer that covers it),
+// no path may Lock the same mutex twice without an intervening Unlock
+// (self-deadlock), and — via per-function summaries — a struct field
+// that is written under its receiver's lock in one function must not be
+// written with no lock held in another. Constructor paths (New*/init, or
+// writes to values constructed in the same function) are exempt from the
+// guarded-field check: freshly built values are not shared yet.
+type LockRule struct{}
+
+// Name implements Rule.
+func (*LockRule) Name() string { return "lock" }
+
+// Doc implements Rule.
+func (*LockRule) Doc() string {
+	return "mutexes are released on every path, never double-locked, and guard their fields consistently"
+}
+
+// lockKey identifies one mutex as seen from one function: the root
+// object of the receiver chain plus the field path, with read locks
+// tracked separately from write locks.
+type lockKey struct {
+	path string
+	read bool
+}
+
+func (k lockKey) describe() string {
+	name := k.path
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		name = name[i+1:]
+	}
+	if k.read {
+		return name + " (read lock)"
+	}
+	return name
+}
+
+// lockFact is the dataflow fact: the set of locks that may be held and
+// the set of unlocks guaranteed to run via defer.
+type lockFact struct {
+	valid    bool
+	held     map[lockKey]token.Pos // lock site of the (possibly) held lock
+	deferred map[lockKey]bool
+}
+
+type lockLattice struct {
+	p *Package
+}
+
+// Entry implements Lattice.
+func (l *lockLattice) Entry() lockFact {
+	return lockFact{valid: true, held: map[lockKey]token.Pos{}, deferred: map[lockKey]bool{}}
+}
+
+// Bottom implements Lattice.
+func (l *lockLattice) Bottom() lockFact { return lockFact{} }
+
+// Join implements Lattice: held is may (union), deferred is must
+// (intersection).
+func (l *lockLattice) Join(a, b lockFact) lockFact {
+	if !a.valid {
+		return b
+	}
+	if !b.valid {
+		return a
+	}
+	out := lockFact{valid: true, held: map[lockKey]token.Pos{}, deferred: map[lockKey]bool{}}
+	for k, pos := range a.held {
+		out.held[k] = pos
+	}
+	for k, pos := range b.held {
+		if _, ok := out.held[k]; !ok {
+			out.held[k] = pos
+		}
+	}
+	for k := range a.deferred {
+		if b.deferred[k] {
+			out.deferred[k] = true
+		}
+	}
+	return out
+}
+
+// Equal implements Lattice.
+func (l *lockLattice) Equal(a, b lockFact) bool {
+	if a.valid != b.valid || len(a.held) != len(b.held) || len(a.deferred) != len(b.deferred) {
+		return false
+	}
+	for k := range a.held {
+		if _, ok := b.held[k]; !ok {
+			return false
+		}
+	}
+	for k := range a.deferred {
+		if !b.deferred[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Transfer implements Lattice.
+func (l *lockLattice) Transfer(f lockFact, n ast.Node) lockFact {
+	if !f.valid {
+		return f
+	}
+	ops := lockOpsIn(l.p, n)
+	if len(ops) == 0 {
+		return f
+	}
+	out := lockFact{valid: true, held: map[lockKey]token.Pos{}, deferred: map[lockKey]bool{}}
+	for k, pos := range f.held {
+		out.held[k] = pos
+	}
+	for k := range f.deferred {
+		out.deferred[k] = true
+	}
+	for _, op := range ops {
+		switch {
+		case op.deferred && !op.lock:
+			out.deferred[op.key] = true
+		case op.lock:
+			out.held[op.key] = op.pos
+		default:
+			delete(out.held, op.key)
+		}
+	}
+	return out
+}
+
+// lockOp is one Lock/Unlock touch found in a linearized node.
+type lockOp struct {
+	key      lockKey
+	lock     bool // Lock/RLock (vs Unlock/RUnlock)
+	deferred bool
+	pos      token.Pos
+}
+
+// lockOpsIn extracts the mutex operations of one shallow CFG node. A
+// DeferStmt's call is the deferred op; a deferred closure is scanned for
+// the unlocks it performs.
+func lockOpsIn(p *Package, n ast.Node) []lockOp {
+	var ops []lockOp
+	record := func(call *ast.CallExpr, deferred bool) {
+		if op, ok := mutexOp(p, call); ok {
+			op.deferred = deferred
+			ops = append(ops, op)
+		}
+	}
+	switch s := n.(type) {
+	case *ast.DeferStmt:
+		record(s.Call, true)
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					record(call, true)
+				}
+				return true
+			})
+		}
+		return ops
+	}
+	inspectShallow(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			record(call, false)
+		}
+		return true
+	})
+	return ops
+}
+
+// mutexOp recognizes calls to the Lock/Unlock family of sync.Mutex and
+// sync.RWMutex and resolves the receiver to a lockKey.
+func mutexOp(p *Package, call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	name := sel.Sel.Name
+	var lock, read bool
+	switch name {
+	case "Lock":
+		lock = true
+	case "RLock":
+		lock, read = true, true
+	case "Unlock":
+	case "RUnlock":
+		read = true
+	default:
+		return lockOp{}, false
+	}
+	fn := calleeFunc(p, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	path, ok := exprPath(p, sel.X)
+	if !ok {
+		return lockOp{}, false
+	}
+	return lockOp{key: lockKey{path: path, read: read}, lock: lock, pos: call.Pos()}, true
+}
+
+// exprPath renders a selector chain (c.mu, w.inner.mu) as a stable key:
+// the root object's declaration position plus the field names. Chains
+// rooted in calls or indexing do not get a path (not trackable).
+func exprPath(p *Package, expr ast.Expr) (string, bool) {
+	var parts []string
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			obj := p.Info.Uses[e]
+			if obj == nil {
+				obj = p.Info.Defs[e]
+			}
+			if obj == nil {
+				return "", false
+			}
+			name := e.Name
+			if len(parts) > 0 {
+				for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+					parts[i], parts[j] = parts[j], parts[i]
+				}
+				name += "." + strings.Join(parts, ".")
+			}
+			return fmt.Sprintf("%d:%s", obj.Pos(), name), true
+		case *ast.SelectorExpr:
+			parts = append(parts, e.Sel.Name)
+			expr = e.X
+		default:
+			return "", false
+		}
+	}
+}
+
+// exprRoot resolves the root object of a selector chain.
+func exprRoot(p *Package, expr ast.Expr) types.Object {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			if obj := p.Info.Uses[e]; obj != nil {
+				return obj
+			}
+			return p.Info.Defs[e]
+		case *ast.SelectorExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// fieldWrite records one struct-field write for the guarded-field
+// summary.
+type fieldWrite struct {
+	pos     token.Pos
+	fn      string
+	guarded bool // a receiver-rooted lock was held at the write
+	exempt  bool // constructor path: New*/init, or locally built value
+}
+
+// Check implements Rule.
+func (r *LockRule) Check(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	lat := &lockLattice{p: p}
+	writes := make(map[types.Object][]fieldWrite)
+	for _, file := range p.Files {
+		funcBodies(file, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+			r.checkBody(p, lat, decl, body, writes, report)
+		})
+	}
+
+	// Guarded-field summaries: a field written under its receiver's lock
+	// somewhere must not be written lock-free elsewhere.
+	var fields []types.Object
+	for obj, ws := range writes {
+		guarded := false
+		for _, w := range ws {
+			if w.guarded {
+				guarded = true
+				break
+			}
+		}
+		if guarded {
+			fields = append(fields, obj)
+		}
+	}
+	sort.Slice(fields, func(i, j int) bool { return fields[i].Pos() < fields[j].Pos() })
+	for _, obj := range fields {
+		guardedIn := make(map[string]bool)
+		for _, w := range writes[obj] {
+			if w.guarded {
+				guardedIn[w.fn] = true
+			}
+		}
+		for _, w := range writes[obj] {
+			if w.guarded || w.exempt || guardedIn[w.fn] {
+				continue
+			}
+			report(w.pos, "field %s is written without a lock here but under a lock elsewhere (e.g. in %s)",
+				obj.Name(), firstKey(guardedIn))
+		}
+	}
+}
+
+func firstKey(set map[string]bool) string {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		return "?"
+	}
+	return keys[0]
+}
+
+func (r *LockRule) checkBody(p *Package, lat *lockLattice, decl *ast.FuncDecl, body *ast.BlockStmt,
+	writes map[types.Object][]fieldWrite, report func(pos token.Pos, format string, args ...any)) {
+	cfg := BuildCFG(body)
+	in := Solve(cfg, lat)
+	fnName := decl.Name.Name
+
+	reported := make(map[token.Pos]bool)
+	constructor := strings.HasPrefix(fnName, "New") || strings.HasPrefix(fnName, "new") || fnName == "init"
+	// The "Caller holds x.mu" doc convention: such helpers write guarded
+	// state on behalf of a caller that took the lock, so their writes
+	// count as guarded, not as violations.
+	callerHolds := docSaysCallerHolds(decl.Doc)
+	localSpan := func(obj types.Object) bool {
+		return obj != nil && obj.Pos() >= body.Pos() && obj.Pos() <= body.End()
+	}
+
+	for _, b := range cfg.Blocks {
+		fact := in[b.Index]
+		if !fact.valid {
+			continue
+		}
+		for _, n := range b.Nodes {
+			// Double-lock: a write Lock of a key that may already be held.
+			for _, op := range lockOpsIn(p, n) {
+				if op.lock && !op.deferred && !op.key.read {
+					if prev, held := fact.held[op.key]; held && !reported[op.pos] {
+						reported[op.pos] = true
+						report(op.pos, "%s is locked again without an intervening Unlock (first Lock at %s): possible self-deadlock",
+							op.key.describe(), p.Fset.Position(prev))
+					}
+				}
+			}
+			// Leak at return: held and not covered by a deferred unlock.
+			if ret, ok := n.(*ast.ReturnStmt); ok {
+				r.reportLeaks(p, fact, ret.Pos(), reported, report)
+			}
+			// Guarded-field summary collection.
+			r.collectWrites(p, fact, n, fnName, constructor, callerHolds, localSpan, writes)
+			fact = lat.Transfer(fact, n)
+		}
+		// Fall-off-the-end paths (no return statement) also leak.
+		if last := len(b.Nodes); fact.valid {
+			exitBound := false
+			for _, s := range b.Succs {
+				if s == cfg.Exit {
+					exitBound = true
+				}
+			}
+			if exitBound && (last == 0 || !endsControl(b.Nodes[last-1])) {
+				r.reportLeaks(p, fact, body.End(), reported, report)
+			}
+		}
+	}
+}
+
+// endsControl reports whether the node already accounts for the exit
+// edge (a return or terminator call) so the fall-off check skips it.
+func endsControl(n ast.Node) bool {
+	switch s := n.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		return isTerminatorStmt(s)
+	case ast.Stmt:
+		return isTerminatorStmt(s)
+	}
+	return false
+}
+
+func (r *LockRule) reportLeaks(p *Package, fact lockFact, at token.Pos, reported map[token.Pos]bool,
+	report func(pos token.Pos, format string, args ...any)) {
+	var leaked []lockKey
+	for k := range fact.held {
+		if !fact.deferred[k] {
+			leaked = append(leaked, k)
+		}
+	}
+	sort.Slice(leaked, func(i, j int) bool { return leaked[i].path < leaked[j].path })
+	for _, k := range leaked {
+		if reported[at] {
+			return
+		}
+		reported[at] = true
+		report(at, "%s (locked at %s) is still held when the function returns here: Unlock on this path or defer the Unlock before any return",
+			k.describe(), p.Fset.Position(fact.held[k]))
+	}
+}
+
+// collectWrites records struct-field writes in n with their lock
+// context for the cross-function guarded-field check.
+func (r *LockRule) collectWrites(p *Package, fact lockFact, n ast.Node, fnName string,
+	constructor, callerHolds bool, localSpan func(types.Object) bool, writes map[types.Object][]fieldWrite) {
+	recordLHS := func(lhs ast.Expr) {
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		obj := selectedObject(p, sel)
+		if obj == nil || !isStructField(obj) || isSyncType(obj.Type()) {
+			return
+		}
+		root := exprRoot(p, sel.X)
+		guarded := callerHolds
+		for k := range fact.held {
+			if rootOf(k.path) == rootPosOf(root) {
+				guarded = true
+				break
+			}
+		}
+		writes[obj] = append(writes[obj], fieldWrite{
+			pos:     sel.Pos(),
+			fn:      fnName,
+			guarded: guarded,
+			exempt:  constructor || localSpan(root),
+		})
+	}
+	inspectShallow(n, func(m ast.Node) bool {
+		switch s := m.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				recordLHS(lhs)
+			}
+		case *ast.IncDecStmt:
+			recordLHS(s.X)
+		}
+		return true
+	})
+}
+
+// docSaysCallerHolds recognizes the "Caller holds ..." / "caller must
+// hold ..." doc-comment convention on lock-free helpers.
+func docSaysCallerHolds(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	text := strings.ToLower(doc.Text())
+	return strings.Contains(text, "caller holds") || strings.Contains(text, "caller must hold") ||
+		strings.Contains(text, "callers hold")
+}
+
+// rootOf extracts the "pos" prefix of a lockKey path.
+func rootOf(path string) string {
+	if i := strings.IndexByte(path, ':'); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+func rootPosOf(obj types.Object) string {
+	if obj == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%d", obj.Pos())
+}
+
+// isStructField reports whether obj is a struct field.
+func isStructField(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && v.IsField()
+}
+
+// isSyncType reports whether t (possibly pointer) is declared in sync or
+// sync/atomic — mutexes and atomic boxes manage their own discipline.
+func isSyncType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return path == "sync" || path == "sync/atomic"
+}

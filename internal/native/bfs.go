@@ -2,6 +2,7 @@ package native
 
 import (
 	"fmt"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -132,7 +133,7 @@ func bfsTopDown(g *graph.CSR, dist []int32, visited *bitvec.Vector, frontier []u
 	}
 	results := make([][]uint32, len(frontier))
 	par.ForDynamic(len(frontier), frontierGrain, func(lo, hi int) {
-		var next []uint32
+		next := make([]uint32, 0, hi-lo)
 		for i := lo; i < hi; i++ {
 			for _, t := range g.Neighbors(frontier[i]) {
 				if visited.SetAtomic(t) {
@@ -158,7 +159,7 @@ func bfsBottomUp(g *graph.CSR, dist []int32, visited *bitvec.Vector, level int32
 	found := make([]uint32, 0, 1024)
 	var mu sleeplessLock
 	par.ForDynamic(n, 0, func(lo, hi int) {
-		var local []uint32
+		local := make([]uint32, 0, hi-lo)
 		for v := lo; v < hi; v++ {
 			if visited.Get(uint32(v)) {
 				continue
@@ -337,7 +338,16 @@ func (e *Engine) bfsCluster(g *graph.CSR, opt core.BFSOptions) (*core.BFSResult,
 			if len(next) > 0 {
 				anyActive = true
 			}
-			for d, marks := range remote {
+			// Send in ascending destination order: map iteration order is
+			// random per run, and message order feeds the traced transfer
+			// accounting, which must be reproducible.
+			dests := make([]int, 0, len(remote))
+			for d := range remote {
+				dests = append(dests, d)
+			}
+			sort.Ints(dests)
+			for _, d := range dests {
+				marks := remote[d]
 				ids := make([]uint32, 0, marks.Count())
 				marks.ForEach(func(t uint32) { ids = append(ids, t) })
 				if len(ids) == 0 {

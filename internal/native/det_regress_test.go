@@ -1,0 +1,43 @@
+package native
+
+import (
+	"runtime"
+	"testing"
+
+	"graphmaze/internal/cluster"
+	"graphmaze/internal/core"
+)
+
+// TestClusterBFSDeterministicAcrossRuns pins the graphlint det fix in the
+// distributed BFS send path: remote frontier payloads go out in ascending
+// destination order rather than map iteration order, so repeated runs —
+// within a process and across GOMAXPROCS values — must agree exactly on
+// distances and on the modeled traffic accounting.
+func TestClusterBFSDeterministicAcrossRuns(t *testing.T) {
+	g := testGraphUndirected(t)
+	run := func() *core.BFSResult {
+		res, err := New().BFS(g, core.BFSOptions{Source: 3,
+			Exec: core.Exec{Cluster: &cluster.Config{Nodes: 3}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	want := run()
+	for _, procs := range []int{1, runtime.NumCPU()} {
+		prev := runtime.GOMAXPROCS(procs)
+		a, b := run(), run()
+		runtime.GOMAXPROCS(prev)
+		for _, got := range []*core.BFSResult{a, b} {
+			if !core.EqualDistances(want.Distances, got.Distances) {
+				t.Fatalf("GOMAXPROCS=%d: distances drifted between runs", procs)
+			}
+			wr, gr := want.Stats.Report, got.Stats.Report
+			if gr.BytesSent != wr.BytesSent || gr.MessagesSent != wr.MessagesSent {
+				t.Fatalf("GOMAXPROCS=%d: traffic accounting drifted: %d/%d vs %d/%d bytes/messages",
+					procs, gr.BytesSent, gr.MessagesSent, wr.BytesSent, wr.MessagesSent)
+			}
+		}
+	}
+}

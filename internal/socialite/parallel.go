@@ -87,17 +87,21 @@ func EvalParallel(rule *Rule, lo, hi uint32, delta []uint32, owner func(uint32) 
 			buf := make([][]kv, workers)
 			dlo := lo + graph.MustU32(int64(uint64(span)*uint64(w)/uint64(workers)))
 			dhi := lo + graph.MustU32(int64(uint64(span)*uint64(w+1)/uint64(workers)))
+			//lint:ignore hotalloc one sink closure per worker slot, not per element
 			sink := func(key uint32, val Value) {
 				if global {
 					globals[w] += val.S()
 					return
 				}
 				s := shardOf(key)
+				e := kv{key: key}
 				if len(val) == 1 {
-					buf[s] = append(buf[s], kv{key: key, scalar: val[0]})
+					e.scalar = val[0]
 				} else {
-					buf[s] = append(buf[s], kv{key: key, vec: val})
+					e.vec = val
 				}
+				//lint:ignore hotalloc shard buffers are sparse; eager per-shard make would cost more than amortized growth
+				buf[s] = append(buf[s], e)
 			}
 			var err error
 			if rule.Driver.Vec != nil {
@@ -140,6 +144,13 @@ func EvalParallel(rule *Rule, lo, hi uint32, delta []uint32, owner func(uint32) 
 	remoteTuples := make([]int64, workers)
 	par.ForWorkersIndexed(workers, workers, func(_, wlo, whi int) {
 		for s := wlo; s < whi; s++ {
+			if trackChanged {
+				total := 0
+				for p := 0; p < workers; p++ {
+					total += len(routed[p][s])
+				}
+				changedPer[s] = make([]uint32, 0, total)
+			}
 			for p := 0; p < workers; p++ {
 				for _, u := range routed[p][s] {
 					var changed bool
