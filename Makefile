@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint lint-baseline lint-selfcheck fmt all bench-par trace-demo fault-demo
+.PHONY: build test race lint lint-baseline lint-selfcheck fmt all bench-par bench-backend bench-diff trace-demo fault-demo
 
 all: fmt lint build test
 
@@ -37,12 +37,28 @@ lint-selfcheck:
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-# bench-par runs the scheduling-layer microbenchmarks and the skewed
-# native kernels (static vs dynamic/edge-balanced) and writes the results
-# as JSON. Override the graph size with GRAPHMAZE_SKEW_SCALE (default 16).
+# bench-par runs the scheduling-layer microbenchmarks, the skewed native
+# kernels (static vs dynamic/edge-balanced), and the per-engine
+# PageRank/BFS kernels at the repo root, and writes the results as JSON.
+# Override the skew graph size with GRAPHMAZE_SKEW_SCALE (default 16).
 bench-par:
-	$(GO) test -run '^$$' -bench 'BenchmarkPar|BenchmarkNative.*Skewed' -benchmem \
-		./internal/par ./internal/native | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_par.json
+	$(GO) test -run '^$$' -bench 'BenchmarkPar|BenchmarkNative.*Skewed|BenchmarkPageRank$$|BenchmarkBFS$$' -benchmem \
+		. ./internal/par ./internal/native | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_par.json
+
+# bench-backend runs the shared SpMV backend kernels (semiring products,
+# frontier expansion, a full lowered PageRank iteration). allocs/op must
+# read 0 for the steady-state kernels, and the per-engine numbers in
+# BENCH_par.json are measured against these.
+bench-backend:
+	$(GO) test -run '^$$' -bench 'BenchmarkBackend' -benchmem \
+		./internal/backend | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_backend.json
+
+# bench-diff compares a fresh bench-par run against the checked-in
+# BENCH_par.json and fails on a >1.25x ns/op or allocs/op regression.
+bench-diff:
+	$(GO) test -run '^$$' -bench 'BenchmarkPar|BenchmarkNative.*Skewed|BenchmarkPageRank$$|BenchmarkBFS$$' -benchmem \
+		. ./internal/par ./internal/native | $(GO) run ./cmd/benchjson > BENCH_par.new.json
+	$(GO) run ./cmd/benchjson -diff -threshold 1.25 BENCH_par.json BENCH_par.new.json
 
 # trace-demo runs a small traced experiment end to end: the Chrome trace
 # lands in trace-demo.json (load it at https://ui.perfetto.dev) and the

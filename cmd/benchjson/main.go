@@ -10,12 +10,25 @@
 // allocs/op, custom ReportMetric units). Context lines (goos, goarch,
 // pkg, cpu) are captured once into every object emitted under that
 // header.
+//
+// With -diff, benchjson instead compares two such JSON files and exits
+// nonzero when the new run regressed past the threshold:
+//
+//	go run ./cmd/benchjson -diff -threshold 1.25 BENCH_par.json bench-new.json
+//
+// Benchmarks are matched by name with the trailing -<GOMAXPROCS> suffix
+// stripped, so runs from machines with different core counts still pair
+// up. A ns/op regression is new > old·threshold; an allocs/op regression
+// additionally tolerates +0.5 alloc of noise. Benchmarks present in only
+// one file are reported but never fail the diff.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -31,6 +44,26 @@ type result struct {
 }
 
 func main() {
+	diff := flag.Bool("diff", false, "compare two benchmark JSON files (old new) instead of converting stdin")
+	threshold := flag.Float64("threshold", 1.25, "with -diff: fail when new ns/op or allocs/op exceeds old by this factor")
+	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		regressed, err := runDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
+
 	results, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -87,4 +120,122 @@ func parse(sc *bufio.Scanner) ([]result, error) {
 		results = append(results, r)
 	}
 	return results, sc.Err()
+}
+
+// baseName strips the trailing -<GOMAXPROCS> suffix go test appends to
+// parallel benchmark names, so runs from different machines match.
+func baseName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	suffix := name[i+1:]
+	if suffix == "" {
+		return name
+	}
+	for _, c := range suffix {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+func loadResults(path string) ([]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []result
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rs, nil
+}
+
+// diffLine is one matched benchmark's comparison.
+type diffLine struct {
+	name      string
+	oldNs     float64
+	newNs     float64
+	oldAllocs float64
+	newAllocs float64
+	hasAllocs bool
+	regressed bool
+}
+
+// runDiff compares old and new benchmark files, prints a per-benchmark
+// delta table to w, and reports whether any matched benchmark regressed
+// past the threshold.
+func runDiff(w io.Writer, oldPath, newPath string, threshold float64) (bool, error) {
+	oldRs, err := loadResults(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newRs, err := loadResults(newPath)
+	if err != nil {
+		return false, err
+	}
+	oldBy := make(map[string]result, len(oldRs))
+	for _, r := range oldRs {
+		oldBy[baseName(r.Name)] = r
+	}
+
+	var lines []diffLine
+	matched := make(map[string]bool)
+	for _, nr := range newRs {
+		name := baseName(nr.Name)
+		or, ok := oldBy[name]
+		if !ok {
+			fmt.Fprintf(w, "new only: %s (%.0f ns/op)\n", name, nr.NsPerOp)
+			continue
+		}
+		matched[name] = true
+		l := diffLine{name: name, oldNs: or.NsPerOp, newNs: nr.NsPerOp}
+		if oa, ok := or.Metrics["allocs/op"]; ok {
+			if na, ok := nr.Metrics["allocs/op"]; ok {
+				l.oldAllocs, l.newAllocs, l.hasAllocs = oa, na, true
+			}
+		}
+		if l.newNs > l.oldNs*threshold {
+			l.regressed = true
+		}
+		// Allocation counts are near-deterministic: tolerate only the
+		// threshold factor plus half an allocation of noise.
+		if l.hasAllocs && l.newAllocs > l.oldAllocs*threshold+0.5 {
+			l.regressed = true
+		}
+		lines = append(lines, l)
+	}
+	for _, or := range oldRs {
+		if name := baseName(or.Name); !matched[name] {
+			fmt.Fprintf(w, "old only: %s (%.0f ns/op)\n", name, or.NsPerOp)
+		}
+	}
+	if len(lines) == 0 {
+		fmt.Fprintln(w, "benchjson: no benchmarks in common; nothing to compare")
+		return false, nil
+	}
+
+	anyRegressed := false
+	for _, l := range lines {
+		ratio := 0.0
+		if l.oldNs > 0 {
+			ratio = l.newNs / l.oldNs
+		}
+		status := "ok"
+		if l.regressed {
+			status = "REGRESSED"
+			anyRegressed = true
+		}
+		fmt.Fprintf(w, "%-60s %12.0f -> %12.0f ns/op (%5.2fx)", l.name, l.oldNs, l.newNs, ratio)
+		if l.hasAllocs {
+			fmt.Fprintf(w, " %8.0f -> %8.0f allocs/op", l.oldAllocs, l.newAllocs)
+		}
+		fmt.Fprintf(w, "  %s\n", status)
+	}
+	if anyRegressed {
+		fmt.Fprintf(w, "benchjson: regression past %.2fx threshold\n", threshold)
+	}
+	return anyRegressed, nil
 }

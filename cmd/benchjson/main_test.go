@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	text := `goos: linux
+goarch: amd64
+pkg: graphmaze/internal/par
+cpu: fake cpu
+BenchmarkParFor-8   	     100	  12345678 ns/op	     128 B/op	       2 allocs/op
+BenchmarkPageRank/Native-8  	      10	 987654321 ns/op
+PASS
+`
+	rs, err := parse(bufio.NewScanner(strings.NewReader(text)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("got %d results, want 2", len(rs))
+	}
+	if rs[0].Name != "BenchmarkParFor-8" || rs[0].NsPerOp != 12345678 || rs[0].Iterations != 100 {
+		t.Errorf("first result wrong: %+v", rs[0])
+	}
+	if rs[0].Metrics["allocs/op"] != 2 || rs[0].Metrics["B/op"] != 128 {
+		t.Errorf("metrics wrong: %+v", rs[0].Metrics)
+	}
+	if rs[0].Package != "graphmaze/internal/par" || rs[0].CPU != "fake cpu" {
+		t.Errorf("context wrong: %+v", rs[0])
+	}
+	if rs[1].Name != "BenchmarkPageRank/Native-8" {
+		t.Errorf("second result wrong: %+v", rs[1])
+	}
+}
+
+func TestBaseName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkParFor-8":         "BenchmarkParFor",
+		"BenchmarkParFor-128":       "BenchmarkParFor",
+		"BenchmarkPageRank/Native":  "BenchmarkPageRank/Native",
+		"BenchmarkOdd-Name":         "BenchmarkOdd-Name",
+		"BenchmarkPageRank/CSR-4-2": "BenchmarkPageRank/CSR-4",
+	}
+	for in, want := range cases {
+		if got := baseName(in); got != want {
+			t.Errorf("baseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func writeBench(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffDetectsNsRegression(t *testing.T) {
+	oldP := writeBench(t, "old.json", `[{"name":"BenchmarkX-8","iterations":10,"ns_per_op":100}]`)
+	newP := writeBench(t, "new.json", `[{"name":"BenchmarkX-4","iterations":10,"ns_per_op":200}]`)
+	var out strings.Builder
+	regressed, err := runDiff(&out, oldP, newP, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("2x slowdown not flagged; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Errorf("output missing REGRESSED marker:\n%s", out.String())
+	}
+}
+
+func TestDiffWithinThresholdPasses(t *testing.T) {
+	oldP := writeBench(t, "old.json", `[{"name":"BenchmarkX-8","iterations":10,"ns_per_op":100,"metrics":{"allocs/op":3}}]`)
+	newP := writeBench(t, "new.json", `[{"name":"BenchmarkX-8","iterations":10,"ns_per_op":110,"metrics":{"allocs/op":3}}]`)
+	var out strings.Builder
+	regressed, err := runDiff(&out, oldP, newP, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("10%% slowdown under 1.25x threshold flagged; output:\n%s", out.String())
+	}
+}
+
+func TestDiffDetectsAllocRegression(t *testing.T) {
+	oldP := writeBench(t, "old.json", `[{"name":"BenchmarkX-8","iterations":10,"ns_per_op":100,"metrics":{"allocs/op":0}}]`)
+	newP := writeBench(t, "new.json", `[{"name":"BenchmarkX-8","iterations":10,"ns_per_op":100,"metrics":{"allocs/op":5}}]`)
+	var out strings.Builder
+	regressed, err := runDiff(&out, oldP, newP, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("0 -> 5 allocs/op not flagged; output:\n%s", out.String())
+	}
+}
+
+func TestDiffNoOverlapIsClean(t *testing.T) {
+	oldP := writeBench(t, "old.json", `[{"name":"BenchmarkA-8","iterations":10,"ns_per_op":100}]`)
+	newP := writeBench(t, "new.json", `[{"name":"BenchmarkB-8","iterations":10,"ns_per_op":900}]`)
+	var out strings.Builder
+	regressed, err := runDiff(&out, oldP, newP, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("disjoint benchmark sets must not fail; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "new only") || !strings.Contains(out.String(), "old only") {
+		t.Errorf("unmatched benchmarks not reported:\n%s", out.String())
+	}
+}

@@ -1,0 +1,278 @@
+package backend
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphmaze/internal/gen"
+	"graphmaze/internal/graph"
+)
+
+// testGraph builds a small RMAT graph; symmetric graphs are what the
+// traversal kernels see in production.
+func testGraph(tb testing.TB, scale int, seed int64, symmetric bool) *graph.CSR {
+	tb.Helper()
+	edges, err := gen.RMAT(gen.Graph500Config(scale, 8, seed))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	b := graph.NewBuilder(uint32(1) << uint(scale))
+	b.AddEdges(edges)
+	opt := graph.BuildOptions{Dedup: true, DropSelfLoops: true, SortAdjacency: true}
+	if symmetric {
+		opt.Orientation = graph.Symmetrize
+	}
+	g, err := b.Build(opt)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
+// refSpMVSum is the serial reference for the plus-times pattern product.
+func refSpMVSum(m *Matrix, x []float64) []float64 {
+	y := make([]float64, m.NumRows)
+	for r := 0; r < int(m.NumRows); r++ {
+		sum := 0.0
+		for i := m.Offsets[r]; i < m.Offsets[r+1]; i++ {
+			sum += x[m.Cols[i]]
+		}
+		y[r] = sum
+	}
+	return y
+}
+
+// refBFS is the serial reference traversal.
+func refBFS(m *Matrix, source uint32) []int32 {
+	dist := make([]int32, m.NumRows)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[source] = 0
+	frontier := []uint32{source}
+	for level := int32(1); len(frontier) > 0; level++ {
+		var next []uint32
+		for _, v := range frontier {
+			for i := m.Offsets[v]; i < m.Offsets[v+1]; i++ {
+				if t := m.Cols[i]; dist[t] == -1 {
+					dist[t] = level
+					next = append(next, t)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+func randVec(n uint32, seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.Float64()
+	}
+	return x
+}
+
+func TestSumVecMulMatchesReference(t *testing.T) {
+	g := testGraph(t, 10, 7, false)
+	m := FromCSR(g)
+	x := randVec(g.NumVertices, 1)
+	want := refSpMVSum(m, x)
+
+	for _, workers := range []int{1, 3, 8} {
+		pool := NewPool(workers)
+		k := NewSumVecMul(pool, m)
+		y := make([]float64, g.NumVertices)
+		k.Into(y, x)
+		for i := range want {
+			if y[i] != want[i] {
+				t.Fatalf("workers=%d: y[%d] = %v, want %v (bit-exact)", workers, i, y[i], want[i])
+			}
+		}
+		pool.Close()
+	}
+}
+
+func TestVecMulGenericMatchesSpecialized(t *testing.T) {
+	g := testGraph(t, 10, 11, false)
+	m := FromCSR(g)
+	x := randVec(g.NumVertices, 2)
+	sr := Semiring[struct{}, float64, float64]{
+		Mul:  func(_ struct{}, v float64) float64 { return v },
+		Add:  func(a, b float64) float64 { return a + b },
+		Zero: func() float64 { return 0 },
+	}
+
+	pool := NewPool(4)
+	defer pool.Close()
+	spec := NewSumVecMul(pool, m)
+	gen := NewVecMul[struct{}, float64, float64](pool, m, nil, sr)
+
+	ys := make([]float64, g.NumVertices)
+	yg := make([]float64, g.NumVertices)
+	spec.Into(ys, x)
+	gen.Into(yg, x)
+	for i := range ys {
+		if ys[i] != yg[i] {
+			t.Fatalf("generic and specialized kernels disagree at %d: %v vs %v", i, yg[i], ys[i])
+		}
+	}
+
+	// MapInto must apply the post transform to the same row fold.
+	post := func(r uint32, acc float64) float64 { return 0.15 + 0.85*acc }
+	spec.MapInto(ys, x, post)
+	gen.MapInto(yg, x, post)
+	for i := range ys {
+		if ys[i] != yg[i] {
+			t.Fatalf("MapInto disagree at %d: %v vs %v", i, yg[i], ys[i])
+		}
+	}
+}
+
+func TestSpMVIntoOneShot(t *testing.T) {
+	g := testGraph(t, 9, 3, false)
+	m := FromCSR(g)
+	x := randVec(g.NumVertices, 5)
+	want := refSpMVSum(m, x)
+	y := make([]float64, g.NumVertices)
+	SpMVInto(m, make([]struct{}, len(m.Cols)), x, y, Semiring[struct{}, float64, float64]{
+		Mul:  func(_ struct{}, v float64) float64 { return v },
+		Add:  func(a, b float64) float64 { return a + b },
+		Zero: func() float64 { return 0 },
+	})
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("y[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestTraversalMatchesReference(t *testing.T) {
+	g := testGraph(t, 10, 21, true)
+	m := FromCSR(g)
+	want := refBFS(m, 1)
+
+	for _, workers := range []int{1, 4} {
+		pool := NewPool(workers)
+		tv := NewTraversal(pool, m, "backend.bfs.level", nil)
+		// Force the parallel kernels even on this small graph.
+		tv.serialEdges = 0
+		tv.serialFrontier = 0
+		dist := make([]int32, g.NumVertices)
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[1] = 0
+		tv.Run(dist, 1)
+		for i := range want {
+			if dist[i] != want[i] {
+				t.Fatalf("workers=%d: dist[%d] = %d, want %d", workers, i, dist[i], want[i])
+			}
+		}
+		pool.Close()
+	}
+}
+
+func TestExpanderMatchesExpandInto(t *testing.T) {
+	g := testGraph(t, 10, 33, true)
+	m := FromCSR(g)
+	pool := NewPool(4)
+	defer pool.Close()
+
+	exp := NewExpander(pool, m)
+	exp.Claim(0)
+	marks := make([]bool, m.NumRows)
+	claimed := map[uint32]bool{0: true}
+
+	frontier := []uint32{0}
+	for len(frontier) > 0 {
+		// Reference: one-shot distinct targets, then filter by claimed set.
+		raw := ExpandInto(m, frontier, marks, nil)
+		want := map[uint32]bool{}
+		for _, v := range raw {
+			if !claimed[v] {
+				want[v] = true
+			}
+		}
+		got := exp.Expand(frontier, nil)
+		if len(got) != len(want) {
+			t.Fatalf("expand size %d, want %d", len(got), len(want))
+		}
+		seen := map[uint32]bool{}
+		for _, v := range got {
+			if seen[v] {
+				t.Fatalf("duplicate %d in expansion", v)
+			}
+			seen[v] = true
+			if !want[v] {
+				t.Fatalf("unexpected vertex %d in expansion", v)
+			}
+			claimed[v] = true
+		}
+		frontier = got
+	}
+}
+
+func TestDensePass(t *testing.T) {
+	pool := NewPool(3)
+	defer pool.Close()
+	n := 1000
+	src := randVec(uint32(n), 9)
+	dst := make([]float64, n)
+	d := NewDense(pool, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = 2 * src[i]
+		}
+	})
+	d.Run()
+	for i := range dst {
+		if dst[i] != 2*src[i] {
+			t.Fatalf("dst[%d] = %v, want %v", i, dst[i], 2*src[i])
+		}
+	}
+}
+
+// TestZeroSteadyStateAllocs is the acceptance criterion: after warmup,
+// per-iteration kernel calls allocate nothing.
+func TestZeroSteadyStateAllocs(t *testing.T) {
+	g := testGraph(t, 10, 13, true)
+	m := FromCSR(g)
+	pool := NewPool(4)
+	defer pool.Close()
+
+	x := randVec(g.NumVertices, 3)
+	y := make([]float64, g.NumVertices)
+	k := NewSumVecMul(pool, m)
+	post := func(r uint32, acc float64) float64 { return 0.3 + 0.7*acc }
+	k.MapInto(y, x, post) // warmup
+	if a := testing.AllocsPerRun(10, func() { k.MapInto(y, x, post) }); a != 0 {
+		t.Errorf("SumVecMul.MapInto allocates %v per call in steady state", a)
+	}
+
+	d := NewDense(pool, int(g.NumVertices), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] = x[i] * 0.5
+		}
+	})
+	d.Run()
+	if a := testing.AllocsPerRun(10, func() { d.Run() }); a != 0 {
+		t.Errorf("Dense.Run allocates %v per call in steady state", a)
+	}
+
+	tv := NewTraversal(pool, m, "backend.bfs.level", nil)
+	tv.serialEdges = 0
+	tv.serialFrontier = 0
+	dist := make([]int32, g.NumVertices)
+	reset := func() {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[1] = 0
+	}
+	reset()
+	tv.Run(dist, 1) // warmup sizes the frontier buffers
+	if a := testing.AllocsPerRun(5, func() { reset(); tv.Run(dist, 1) }); a != 0 {
+		t.Errorf("Traversal.Run allocates %v per call in steady state", a)
+	}
+}

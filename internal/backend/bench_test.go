@@ -1,0 +1,142 @@
+package backend
+
+import (
+	"testing"
+)
+
+// The backend micro-benchmarks feed BENCH_backend.json (make
+// bench-backend). allocs/op must read 0 for the steady-state kernels —
+// that is the zero-alloc acceptance criterion in machine-readable form —
+// and the engine-level PageRank/BFS benchmarks at the repo root measure
+// each framework's overhead over these numbers.
+
+func benchGraph(b *testing.B, symmetric bool) *Matrix {
+	b.Helper()
+	return FromCSR(testGraph(b, 14, 9, symmetric))
+}
+
+// BenchmarkBackendSumVecMul is the specialized plus-times pattern product:
+// the per-iteration core of every lowered PageRank.
+func BenchmarkBackendSumVecMul(b *testing.B) {
+	m := benchGraph(b, false)
+	pool := NewPool(0)
+	defer pool.Close()
+	k := NewSumVecMul(pool, m)
+	x := randVec(m.NumRows, 1)
+	y := make([]float64, m.NumRows)
+	k.Into(y, x)
+	b.SetBytes(m.NNZ() * 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Into(y, x)
+	}
+}
+
+// BenchmarkBackendVecMulGeneric is the same product through the generic
+// semiring interface: the gap to BenchmarkBackendSumVecMul is the price
+// of the CombBLAS-style indirection.
+func BenchmarkBackendVecMulGeneric(b *testing.B) {
+	m := benchGraph(b, false)
+	pool := NewPool(0)
+	defer pool.Close()
+	k := NewVecMul[struct{}, float64, float64](pool, m, nil, Semiring[struct{}, float64, float64]{
+		Mul:  func(_ struct{}, v float64) float64 { return v },
+		Add:  func(a, b float64) float64 { return a + b },
+		Zero: func() float64 { return 0 },
+	})
+	x := randVec(m.NumRows, 1)
+	y := make([]float64, m.NumRows)
+	k.Into(y, x)
+	b.SetBytes(m.NNZ() * 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Into(y, x)
+	}
+}
+
+// BenchmarkBackendPageRankIteration is one full lowered PageRank
+// iteration — contribution pass plus mapped SpMV — the unit the 1.5×
+// engine-overhead budget is measured against.
+func BenchmarkBackendPageRankIteration(b *testing.B) {
+	m := benchGraph(b, false)
+	pool := NewPool(0)
+	defer pool.Close()
+	n := int(m.NumRows)
+	k := NewSumVecMul(pool, m)
+	pr := randVec(m.NumRows, 2)
+	next := make([]float64, n)
+	contrib := make([]float64, n)
+	deg := make([]int64, n)
+	for r := 0; r < n; r++ {
+		deg[r] = m.Offsets[r+1] - m.Offsets[r]
+	}
+	contribPass := NewDense(pool, n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if deg[v] > 0 {
+				contrib[v] = 0.7 * pr[v] / float64(deg[v])
+			} else {
+				contrib[v] = 0
+			}
+		}
+	})
+	post := func(r uint32, sum float64) float64 { return 0.3 + sum }
+	iter := func() {
+		contribPass.Run()
+		k.MapInto(next, contrib, post)
+		pr, next = next, pr
+	}
+	iter()
+	b.SetBytes(m.NNZ() * 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		iter()
+	}
+}
+
+// BenchmarkBackendTraversal is the full direction-switching BFS.
+func BenchmarkBackendTraversal(b *testing.B) {
+	m := benchGraph(b, true)
+	pool := NewPool(0)
+	defer pool.Close()
+	tv := NewTraversal(pool, m, "backend.bfs.level", nil)
+	tv.serialEdges = 0 // force the parallel kernels at bench scale
+	dist := make([]int32, m.NumRows)
+	reset := func() {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[0] = 0
+	}
+	reset()
+	tv.Run(dist, 0)
+	b.SetBytes(m.NNZ() * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reset()
+		tv.Run(dist, 0)
+	}
+}
+
+// BenchmarkBackendExpander is the persistent-claims sparse expansion
+// (lowered CombBLAS SpMSpV / Giraph BFS unit).
+func BenchmarkBackendExpander(b *testing.B) {
+	m := benchGraph(b, true)
+	pool := NewPool(0)
+	defer pool.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		exp := NewExpander(pool, m)
+		exp.Claim(0)
+		b.StartTimer()
+		frontier := []uint32{0}
+		for len(frontier) > 0 {
+			frontier = exp.Expand(frontier, nil)
+		}
+	}
+}

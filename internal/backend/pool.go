@@ -1,0 +1,158 @@
+package backend
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"graphmaze/internal/par"
+)
+
+// chunkRunner is the unit of work a Pool dispatches: a kernel that can
+// process the half-open index range [lo, hi) on behalf of one worker.
+// Kernels implement it with pointer receivers so the interface assignment
+// in RunStatic/RunDynamic never allocates.
+type chunkRunner interface {
+	runChunk(worker, lo, hi int)
+}
+
+// Pool mode constants: how bounds are handed to workers.
+const (
+	modeStatic  = iota // worker w owns [bounds[w], bounds[w+1])
+	modeDynamic        // workers claim grain-sized chunks from an atomic cursor
+)
+
+// Pool is a persistent team of workers the backend kernels run on. The
+// par package's loops spawn goroutines (and allocate) per call, which is
+// fine for one-shot operations but not for an iterate-until-converged hot
+// loop; a Pool parks its workers between dispatches so steady-state
+// iterations cost two channel hops per worker and zero allocations.
+//
+// Worker 0 is the calling goroutine, so a 1-worker pool degenerates to a
+// plain serial loop with no synchronization at all. Dispatches are
+// serialized by an internal mutex, making a shared Pool safe for
+// concurrent callers (each dispatch still uses every worker).
+type Pool struct {
+	mu      sync.Mutex
+	workers int
+	// wake[w] (w >= 1) signals worker w that mode/runner/bounds are set;
+	// the channel send/receive pair is the happens-before edge that
+	// publishes those fields without per-field synchronization.
+	wake []chan struct{}
+	done chan struct{}
+
+	mode   int
+	runner chunkRunner
+	bounds []int
+	cursor atomic.Int64
+	limit  int
+	grain  int
+	closed bool
+}
+
+// NewPool starts a pool with the given worker count; workers <= 0 means
+// par.NumWorkers() (GOMAXPROCS). Callers own the pool and must Close it.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = par.NumWorkers()
+	}
+	p := &Pool{
+		workers: workers,
+		wake:    make([]chan struct{}, workers),
+		done:    make(chan struct{}, workers),
+	}
+	for w := 1; w < workers; w++ {
+		p.wake[w] = make(chan struct{})
+		//lint:ignore goroutine workers park on the wake channel and are joined per dispatch via the buffered done channel; Close releases them
+		go p.serve(w, p.wake[w])
+	}
+	return p
+}
+
+// Workers reports the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close releases the parked worker goroutines. The pool must be idle.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for w := 1; w < p.workers; w++ {
+		close(p.wake[w])
+	}
+}
+
+func (p *Pool) serve(w int, wake chan struct{}) {
+	for range wake {
+		p.work(w)
+		p.done <- struct{}{}
+	}
+}
+
+func (p *Pool) work(w int) {
+	switch p.mode {
+	case modeStatic:
+		lo, hi := p.bounds[w], p.bounds[w+1]
+		if lo < hi {
+			p.runner.runChunk(w, lo, hi)
+		}
+	case modeDynamic:
+		for {
+			hi := int(p.cursor.Add(int64(p.grain)))
+			lo := hi - p.grain
+			if lo >= p.limit {
+				return
+			}
+			if hi > p.limit {
+				hi = p.limit
+			}
+			p.runner.runChunk(w, lo, hi)
+		}
+	}
+}
+
+func (p *Pool) dispatch() {
+	for w := 1; w < p.workers; w++ {
+		p.wake[w] <- struct{}{}
+	}
+	p.work(0)
+	for w := 1; w < p.workers; w++ {
+		<-p.done
+	}
+}
+
+// RunStatic runs r over the k ranges described by bounds (len workers+1,
+// as produced by par.OffsetSplits or evenSplits): worker w gets
+// [bounds[w], bounds[w+1]). Deterministic ownership — the same worker
+// index always sees the same range for the same bounds.
+func (p *Pool) RunStatic(r chunkRunner, bounds []int) {
+	p.mu.Lock()
+	p.mode = modeStatic
+	p.runner = r
+	p.bounds = bounds
+	p.dispatch()
+	p.runner = nil
+	p.mu.Unlock()
+}
+
+// RunDynamic runs r over [0, n) in grain-sized chunks claimed from an
+// atomic cursor (work-stealing for irregular per-chunk cost). The grain
+// is rounded up to a multiple of 64 so each chunk owns disjoint words of
+// any vertex-indexed bitset, letting kernels use plain stores.
+func (p *Pool) RunDynamic(r chunkRunner, n, grain int) {
+	if grain <= 0 {
+		grain = par.DefaultGrain
+	}
+	grain = (grain + 63) &^ 63
+	p.mu.Lock()
+	p.mode = modeDynamic
+	p.runner = r
+	p.limit = n
+	p.grain = grain
+	p.cursor.Store(0)
+	p.dispatch()
+	p.runner = nil
+	p.mu.Unlock()
+}

@@ -1,0 +1,77 @@
+package backend
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestPushPullEquivalence is the kernel-selection property test: on
+// random graphs, a traversal forced all-push, one forced all-pull, and
+// the heuristic mix must produce identical distance arrays, at
+// GOMAXPROCS 1 and 4. Distances (not frontier orders) are the engine
+// contract.
+func TestPushPullEquivalence(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 4} {
+		runtime.GOMAXPROCS(procs)
+		for seed := int64(0); seed < 5; seed++ {
+			g := testGraph(t, 10, 100+seed, true)
+			m := FromCSR(g)
+			pool := NewPool(0)
+
+			run := func(dir int) []int32 {
+				tv := NewTraversal(pool, m, "backend.bfs.level", nil)
+				tv.serialEdges = 0
+				tv.serialFrontier = 0
+				tv.forceDir = dir
+				dist := make([]int32, g.NumVertices)
+				for i := range dist {
+					dist[i] = -1
+				}
+				dist[2] = 0
+				tv.Run(dist, 2)
+				return dist
+			}
+
+			push, pull, auto := run(0), run(1), run(-1)
+			for i := range push {
+				if push[i] != pull[i] {
+					t.Fatalf("procs=%d seed=%d: push dist[%d]=%d, pull dist[%d]=%d",
+						procs, seed, i, push[i], i, pull[i])
+				}
+				if push[i] != auto[i] {
+					t.Fatalf("procs=%d seed=%d: push dist[%d]=%d, auto dist[%d]=%d",
+						procs, seed, i, push[i], i, auto[i])
+				}
+			}
+			pool.Close()
+		}
+	}
+}
+
+// TestSpMVWorkerCountInvariance pins the determinism claim for the dense
+// kernels: bit-identical output at every worker count, because each row's
+// fold is serial and rows are partitioned, never split.
+func TestSpMVWorkerCountInvariance(t *testing.T) {
+	g := testGraph(t, 11, 77, false)
+	m := FromCSR(g)
+	x := randVec(g.NumVertices, 8)
+
+	var want []float64
+	for _, workers := range []int{1, 2, 4, 7} {
+		pool := NewPool(workers)
+		k := NewSumVecMul(pool, m)
+		y := make([]float64, g.NumVertices)
+		k.MapInto(y, x, func(r uint32, acc float64) float64 { return 0.3 + 0.7*acc })
+		pool.Close()
+		if want == nil {
+			want = y
+			continue
+		}
+		for i := range want {
+			if y[i] != want[i] {
+				t.Fatalf("workers=%d: y[%d] differs from 1-worker result", workers, i)
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"graphmaze/internal/backend"
 	"graphmaze/internal/cluster"
 	"graphmaze/internal/core"
 	"graphmaze/internal/graph"
@@ -104,15 +105,21 @@ func (e *Engine) PageRank(g *graph.CSR, opt core.PageRankOptions) (*core.PageRan
 	if opt.Exec.Cluster == nil {
 		tr := opt.Exec.Tracer()
 		start := time.Now()
+		// Lowered onto the shared backend: the pattern SpMV is a
+		// persistent plus-times kernel and the finish pass fuses into its
+		// per-row map — same ascending in-row fold, same finishing
+		// expression, but the semiring indirection and the per-iteration
+		// output allocation are gone.
+		pool := backend.NewPool(0)
+		defer pool.Close()
+		mul := backend.NewSumVecMul(pool, backendView(at)).WithTracer(tr)
+		post := func(r uint32, y float64) float64 {
+			return opt.RandomJump + (1-opt.RandomJump)*y
+		}
 		for it := 0; it < opt.Iterations; it++ {
 			sp := tr.Begin("combblas.spmv", "spmv iteration").Arg("iter", float64(it))
 			par.For(n, normalize)
-			y, err := SpMV(at, phat, sr)
-			if err != nil {
-				sp.End()
-				return nil, err
-			}
-			par.For(n, func(lo, hi int) { finish(y, lo, hi) })
+			mul.MapInto(p, phat, post)
 			sp.End()
 		}
 		return &core.PageRankResult{Ranks: p,
@@ -175,9 +182,10 @@ func (e *Engine) BFS(g *graph.CSR, opt core.BFSOptions) (*core.BFSResult, error)
 	}
 	dist[opt.Source] = 0
 	frontier := []uint32{opt.Source}
-	marks := make([]bool, n)
 
 	var grid *Grid
+	var marks []bool
+	var exp *backend.Expander
 	if opt.Exec.Cluster != nil {
 		grid, err = e.newGrid(execConfig(opt.Exec), n)
 		if err != nil {
@@ -186,15 +194,26 @@ func (e *Engine) BFS(g *graph.CSR, opt core.BFSOptions) (*core.BFSResult, error)
 		for node := 0; node < grid.C.Nodes(); node++ {
 			grid.C.SetBaselineMemory(node, a.MemoryBytes(0)/int64(grid.C.Nodes())+int64(n)*5/int64(grid.C.Nodes()))
 		}
+		marks = make([]bool, n)
+	} else {
+		// Local frontier expansion lowers onto the backend's
+		// persistent-claims expander: the claimed bitset replaces the
+		// per-level marks scan, and its scratch survives across levels.
+		pool := backend.NewPool(0)
+		defer pool.Close()
+		exp = backend.NewExpander(pool, backendView(a))
+		exp.Claim(opt.Source)
 	}
 
 	start := time.Now()
 	level := int32(0)
+	var buf []uint32
 	for len(frontier) > 0 {
 		level++
 		var next []uint32
 		if grid == nil {
-			next = SpMSpV(a, frontier, marks)
+			next = exp.Expand(frontier, buf[:0])
+			buf = next
 		} else {
 			next, err = DistSpMSpV(grid, a, frontier, marks)
 			if err != nil {

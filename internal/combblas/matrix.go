@@ -8,6 +8,7 @@ package combblas
 import (
 	"fmt"
 
+	"graphmaze/internal/backend"
 	"graphmaze/internal/graph"
 	"graphmaze/internal/par"
 )
@@ -146,52 +147,49 @@ func PlusTimesWeighted() Semiring[float32, float64, float64] {
 	}
 }
 
-// SpMV computes y[r] = ⊕_c A[r,c] ⊗ x[c] — a row-wise gather, parallel
-// over rows.
+// backendView wraps the matrix's CSR arrays as a backend pattern matrix
+// (no copy) so the SpMV primitives delegate to the shared kernels.
+func backendView[A any](m *SpMat[A]) *backend.Matrix {
+	return &backend.Matrix{NumRows: m.NumRows, Offsets: m.Offsets, Cols: m.Cols}
+}
+
+// SpMVInto computes y[r] = ⊕_c A[r,c] ⊗ x[c] into the caller-provided y,
+// delegating the row-wise gather to the shared backend (edge-balanced row
+// splits: equal row counts would serialize the hub rows of a power-law
+// matrix onto one worker, paper §3.1). Iterative algorithms reuse y
+// across calls, so the per-iteration allocation the old SpMV paid is
+// gone.
+func SpMVInto[A, X, Y any](m *SpMat[A], x []X, y []Y, sr Semiring[A, X, Y]) error {
+	if len(x) != int(m.NumCols) {
+		return fmt.Errorf("combblas: SpMV vector length %d, matrix has %d columns", len(x), m.NumCols)
+	}
+	if len(y) != int(m.NumRows) {
+		return fmt.Errorf("combblas: SpMV output length %d, matrix has %d rows", len(y), m.NumRows)
+	}
+	backend.SpMVInto(backendView(m), m.Vals, x, y, backend.Semiring[A, X, Y](sr))
+	return nil
+}
+
+// SpMV is the allocating convenience wrapper over SpMVInto.
 func SpMV[A, X, Y any](m *SpMat[A], x []X, sr Semiring[A, X, Y]) ([]Y, error) {
 	if len(x) != int(m.NumCols) {
 		return nil, fmt.Errorf("combblas: SpMV vector length %d, matrix has %d columns", len(x), m.NumCols)
 	}
 	y := make([]Y, m.NumRows)
-	// Row-wise gather costs one ⊗/⊕ pair per nonzero, so rows are split
-	// by nonzero count: equal row counts would serialize the hub rows of a
-	// power-law matrix onto one worker (paper §3.1).
-	par.ForOffsets(m.Offsets, func(lo, hi int) {
-		for r := lo; r < hi; r++ {
-			acc := sr.Zero()
-			cols, vals := m.Row(uint32(r))
-			for i, c := range cols {
-				acc = sr.Add(acc, sr.Mul(vals[i], x[c]))
-			}
-			y[r] = acc
-		}
-	})
+	if err := SpMVInto(m, x, y, sr); err != nil {
+		return nil, err
+	}
 	return y, nil
 }
 
 // SpMSpV computes the boolean product y = xᵀA for a sparse input vector
 // (an index list over rows of A), returning the deduplicated index list of
 // nonzero outputs — the frontier expansion CombBLAS BFS uses instead of a
-// dense SpMV when the frontier is small.
+// dense SpMV when the frontier is small. The or-and semiring fold reduces
+// to exactly the backend's claim-based expansion, so the call delegates
+// there (first-encounter order, marks left clean).
 func SpMSpV(a *SpMat[struct{}], x []uint32, marks []bool) []uint32 {
-	sr := OrAndBool()
-	var out []uint32
-	for _, v := range x {
-		cols, vals := a.Row(v)
-		for i, c := range cols {
-			// The semiring indirection is CombBLAS's genericity cost:
-			// every edge goes through the user-defined ⊗ and ⊕.
-			y := sr.Mul(vals[i], true)
-			if sr.Add(marks[c], y) && !marks[c] {
-				marks[c] = true
-				out = append(out, c)
-			}
-		}
-	}
-	for _, c := range out {
-		marks[c] = false
-	}
-	return out
+	return backend.ExpandInto(backendView(a), x, marks, nil)
 }
 
 // spgemmGrain is the dynamic chunk size for SpGEMM's row loop.
@@ -328,11 +326,13 @@ func sortU32(ids []uint32) {
 	sortU32(ids[i:])
 }
 
-// Reduce folds every row of the matrix to a scalar with the semiring's
-// ⊕ over ⊗-mapped nonzeros — CombBLAS's row-wise Reduce primitive. The
-// engine's PageRank uses it to derive the degree vector.
-func Reduce[A, X, Y any](m *SpMat[A], x X, sr Semiring[A, X, Y]) []Y {
-	out := make([]Y, m.NumRows)
+// ReduceInto folds every row of the matrix to a scalar with the
+// semiring's ⊕ over ⊗-mapped nonzeros — CombBLAS's row-wise Reduce
+// primitive — into the caller-provided out slice (len NumRows).
+func ReduceInto[A, X, Y any](m *SpMat[A], x X, out []Y, sr Semiring[A, X, Y]) error {
+	if len(out) != int(m.NumRows) {
+		return fmt.Errorf("combblas: Reduce output length %d, matrix has %d rows", len(out), m.NumRows)
+	}
 	par.ForOffsets(m.Offsets, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			acc := sr.Zero()
@@ -343,6 +343,14 @@ func Reduce[A, X, Y any](m *SpMat[A], x X, sr Semiring[A, X, Y]) []Y {
 			out[r] = acc
 		}
 	})
+	return nil
+}
+
+// Reduce is the allocating convenience wrapper over ReduceInto. The
+// engine's PageRank uses it to derive the degree vector.
+func Reduce[A, X, Y any](m *SpMat[A], x X, sr Semiring[A, X, Y]) []Y {
+	out := make([]Y, m.NumRows)
+	_ = ReduceInto(m, x, out, sr) // out is sized to NumRows: cannot fail
 	return out
 }
 

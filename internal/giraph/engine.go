@@ -129,6 +129,9 @@ func (e *Engine) PageRank(g *graph.CSR, opt core.PageRankOptions) (*core.PageRan
 		job.Combiner = func(a, b any) any { return a.(float64) + b.(float64) }
 	}
 	job.Compute = prCompute(job, r)
+	// Local combiner-less runs lower onto the shared SpMV backend; the
+	// runtime falls back to the superstep machinery otherwise.
+	job.Lowered = func() Lowering { return newPRLowering(g, r, job.MaxSupersteps, job.Tracer) }
 	res, stats, err := e.runJob(job, opt.Exec)
 	if err != nil {
 		return nil, err
@@ -197,6 +200,9 @@ func (e *Engine) BFS(g *graph.CSR, opt core.BFSOptions) (*core.BFSResult, error)
 		},
 	}
 	job.EncodeValue, job.DecodeValue = Int32Codec()
+	// Local combiner-less runs lower onto the backend's persistent-claims
+	// frontier expander (min-combine ≡ first claim wins).
+	job.Lowered = func() Lowering { return newBFSLowering(g, source) }
 	if e.combine {
 		// BFS messages fold with min (§6.2 recommendation).
 		job.Combiner = func(a, b any) any {

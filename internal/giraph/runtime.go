@@ -124,6 +124,12 @@ type Job struct {
 	// Tracer, when non-nil, receives one span per superstep (active
 	// vertices, messages, peak buffered bytes) plus message counters.
 	Tracer *trace.Tracer
+	// Lowered, when non-nil, supplies a backend lowering of the vertex
+	// program (DESIGN.md §12). Run uses it only for local combiner-less
+	// jobs — the distributed and combiner paths keep the stock superstep
+	// machinery — and the lowering must be observationally equivalent to
+	// running Compute (same values, counters, spans, supersteps).
+	Lowered func() Lowering
 }
 
 type envelope struct {
@@ -231,6 +237,43 @@ func (rt *runtime) send(ctx *Context, to uint32, msg any) {
 	}
 }
 
+// runLowered drives a Lowering through the same superstep loop the stock
+// runtime uses: identical termination conditions (MaxSupersteps bound,
+// quiescence when a message-free superstep leaves every vertex halted),
+// identical per-superstep spans and counters.
+func runLowered(job *Job) (*Result, error) {
+	low := job.Lowered()
+	defer low.Close()
+	tr := job.Tracer
+	activeCounter := tr.Counter("giraph.active_vertices")
+	msgCounter := tr.Counter("giraph.messages")
+	var peak int64
+	var supersteps int
+	lastMsgs := int64(0)
+	for s := 0; ; s++ {
+		if job.MaxSupersteps > 0 && s >= job.MaxSupersteps {
+			break
+		}
+		if s > 0 && lastMsgs == 0 && low.AllHalted() {
+			break
+		}
+		sp := tr.Begin("giraph.superstep", "superstep").Arg("superstep", float64(s))
+		active, msgs := low.Step(s)
+		buffered := low.BufferedBytes()
+		activeCounter.Add(0, active)
+		msgCounter.Add(0, msgs)
+		sp.Arg("active", float64(active)).
+			Arg("messages", float64(msgs)).
+			Arg("buffered_bytes", float64(buffered)).End()
+		if buffered > peak {
+			peak = buffered
+		}
+		lastMsgs = msgs
+		supersteps = s + 1
+	}
+	return &Result{Values: low.Values(), Supersteps: supersteps, PeakBufferedBytes: peak}, nil
+}
+
 // Result of a BSP run.
 type Result struct {
 	Values     []any
@@ -244,6 +287,9 @@ type Result struct {
 func Run(job *Job) (*Result, error) {
 	if job.Graph == nil {
 		return nil, fmt.Errorf("giraph: nil graph")
+	}
+	if job.Lowered != nil && job.Cluster == nil && job.Combiner == nil {
+		return runLowered(job)
 	}
 	split := job.SplitSupersteps
 	if split < 1 {

@@ -3,10 +3,12 @@ package graphlab
 import (
 	"time"
 
+	"graphmaze/internal/backend"
 	"graphmaze/internal/cluster"
 	"graphmaze/internal/core"
 	"graphmaze/internal/cuckoo"
 	"graphmaze/internal/graph"
+	"graphmaze/internal/trace"
 )
 
 // replicationDegree is the total-degree threshold above which a vertex is
@@ -61,7 +63,7 @@ func (e *Engine) PageRank(g *graph.CSR, opt core.PageRankOptions) (*core.PageRan
 	spec := pageRankSpec(opt)
 	spec.Tracer = opt.Exec.Tracer()
 	if opt.Exec.Cluster == nil {
-		res, secs := measure(func() runResult[float64] { return runLocal(g, in, spec) })
+		res, secs := measure(func() runResult[float64] { return pageRankLowered(g, in, opt, spec.Tracer) })
 		return &core.PageRankResult{Ranks: res.vals,
 			Stats: core.RunStats{WallSeconds: secs, Iterations: res.rounds}}, nil
 	}
@@ -82,6 +84,44 @@ func (e *Engine) PageRank(g *graph.CSR, opt core.PageRankOptions) (*core.PageRan
 		return nil, err
 	}
 	return &core.PageRankResult{Ranks: res.vals, Stats: clusterStats(c, res.rounds)}, nil
+}
+
+// pageRankLowered is the local PageRank sweep lowered onto the shared
+// SpMV backend (DESIGN.md §12): the GAS gather over in-edges is a
+// plus-times SpMV of the contribution vector over the transpose, and
+// Apply fuses into the per-row map. The fold order — zero-seeded
+// accumulator over ascending source ids — matches the generic runtime's
+// gather exactly, so the ranks are bit-identical to runLocal's, and the
+// sweep spans keep their shape (every vertex stays active and changes
+// every round under this spec).
+func pageRankLowered(g *graph.CSR, in *graph.CSR, opt core.PageRankOptions, tr *trace.Tracer) runResult[float64] {
+	n := int(g.NumVertices)
+	outDeg := g.OutDegrees()
+	pool := backend.NewPool(0)
+	defer pool.Close()
+	mul := backend.NewSumVecMul(pool, backend.FromCSR(in)).WithTracer(tr)
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 1
+	}
+	contrib := make([]float64, n)
+	contribPass := backend.NewDense(pool, n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if outDeg[v] > 0 {
+				contrib[v] = vals[v] / float64(outDeg[v])
+			} else {
+				contrib[v] = 0
+			}
+		}
+	})
+	post := func(_ uint32, sum float64) float64 { return opt.RandomJump + (1-opt.RandomJump)*sum }
+	for round := 1; round <= opt.Iterations; round++ {
+		sp := tr.Begin("graphlab.sweep", "sweep").Arg("round", float64(round))
+		contribPass.Run()
+		mul.MapInto(vals, contrib, post)
+		sp.Arg("changed", float64(n)).End()
+	}
+	return runResult[float64]{vals: vals, rounds: opt.Iterations}
 }
 
 // PageRankAsync runs PageRank on GraphLab's asynchronous engine: no

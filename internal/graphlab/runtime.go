@@ -10,13 +10,12 @@ package graphlab
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
+	"graphmaze/internal/backend"
 	"graphmaze/internal/bitvec"
 	"graphmaze/internal/cluster"
 	"graphmaze/internal/graph"
-	"graphmaze/internal/par"
 	"graphmaze/internal/trace"
 )
 
@@ -66,7 +65,11 @@ type runResult[V any] struct {
 
 // runLocal executes the program on the host: each round gathers over
 // in-edges of active vertices in parallel, applies, and schedules
-// (GraphLab's synchronous engine uses every core).
+// (GraphLab's synchronous engine uses every core). The sweep runs on the
+// shared backend pool with persistent scratch — staged values and a
+// byte-granular changed flag are written at distinct vertex indices by
+// concurrent workers, and the next-round active set is claimed with
+// atomic bit sets — so steady-state rounds do not allocate.
 func runLocal[V, G any](g *graph.CSR, in *graph.CSR, spec Spec[V, G]) runResult[V] {
 	n := g.NumVertices
 	outDeg := g.OutDegrees()
@@ -75,18 +78,58 @@ func runLocal[V, G any](g *graph.CSR, in *graph.CSR, spec Spec[V, G]) runResult[
 		vals[i] = spec.Init(uint32(i))
 	}
 	active := bitvec.New(n)
-	anyActive := false
 	if spec.InitialActive == nil {
 		for v := uint32(0); v < n; v++ {
 			active.Set(v)
 		}
-		anyActive = n > 0
 	} else {
 		for _, v := range spec.InitialActive {
 			active.Set(v)
-			anyActive = true
 		}
 	}
+	anyActive := active.Count() > 0
+
+	pool := backend.NewPool(0)
+	defer pool.Close()
+	staged := make([]V, n)
+	changed := make([]byte, n)
+	nextActive := bitvec.New(n)
+	// The sweep's per-vertex cost is the in-degree gather plus the
+	// out-degree scatter — skewed on power-law graphs, and further warped
+	// by the active set — so chunks are claimed dynamically. The body is
+	// built once; active/nextActive swap by variable, which the closure
+	// observes.
+	sweep := backend.NewSweep(pool, int(n), 0, func(lo, hi int) {
+		for v := uint32(lo); v < uint32(hi); v++ {
+			if !active.Get(v) {
+				continue
+			}
+			acc := spec.GatherZero()
+			row, wts := in.Neighbors(v), in.EdgeWeights(v)
+			for i, src := range row {
+				var w float32 = 1
+				if wts != nil {
+					w = wts[i]
+				}
+				acc = spec.Gather(acc, src, vals[src], outDeg[src], w)
+			}
+			nv, didChange, act := spec.Apply(v, vals[v], acc, len(row) > 0)
+			if didChange {
+				// Defer writes so every gather this round sees old values
+				// (synchronous engine semantics).
+				staged[v] = nv
+				changed[v] = 1
+			}
+			switch act {
+			case ActivateSelf:
+				nextActive.SetAtomic(v)
+			case ActivateNeighbors:
+				for _, t := range g.Neighbors(v) {
+					nextActive.SetAtomic(t)
+				}
+			}
+		}
+	})
 
 	rounds := 0
 	for anyActive {
@@ -95,68 +138,20 @@ func runLocal[V, G any](g *graph.CSR, in *graph.CSR, spec Spec[V, G]) runResult[
 		}
 		rounds++
 		sweepSpan := spec.Tracer.Begin("graphlab.sweep", "sweep").Arg("round", float64(rounds))
-		nextActive := bitvec.New(n)
-		var activity int32
-		var mu sync.Mutex
-		type pending struct {
-			id  uint32
-			val V
-		}
-		// At most every active vertex defers one write per round.
-		allPending := make([]pending, 0, active.Count())
-		// The sweep's per-vertex cost is the in-degree gather plus the
-		// out-degree scatter — skewed on power-law graphs, and further
-		// warped by the active set — so chunks are claimed dynamically.
-		par.ForDynamic(int(n), 0, func(lo, hi int) {
-			local := make([]pending, 0, hi-lo)
-			localActivity := false
-			for v := uint32(lo); v < uint32(hi); v++ {
-				if !active.Get(v) {
-					continue
-				}
-				acc := spec.GatherZero()
-				row, wts := in.Neighbors(v), in.EdgeWeights(v)
-				for i, src := range row {
-					var w float32 = 1
-					if wts != nil {
-						w = wts[i]
-					}
-					acc = spec.Gather(acc, src, vals[src], outDeg[src], w)
-				}
-				nv, changed, act := spec.Apply(v, vals[v], acc, len(row) > 0)
-				if changed {
-					// Defer writes so every gather this round sees old
-					// values (synchronous engine semantics).
-					local = append(local, pending{id: v, val: nv})
-				}
-				switch act {
-				case ActivateSelf:
-					nextActive.SetAtomic(v)
-					localActivity = true
-				case ActivateNeighbors:
-					for _, t := range g.Neighbors(v) {
-						nextActive.SetAtomic(t)
-					}
-					if g.Degree(v) > 0 {
-						localActivity = true
-					}
-				}
+		nextActive.Reset()
+		sweep.Run()
+		// Serial apply scan: commit staged values, count and clear flags.
+		changedCount := 0
+		for v, ch := range changed {
+			if ch != 0 {
+				vals[v] = staged[v]
+				changed[v] = 0
+				changedCount++
 			}
-			if len(local) > 0 || localActivity {
-				mu.Lock()
-				allPending = append(allPending, local...)
-				if localActivity {
-					activity = 1
-				}
-				mu.Unlock()
-			}
-		})
-		for _, p := range allPending {
-			vals[p.id] = p.val
 		}
-		sweepSpan.Arg("changed", float64(len(allPending))).End()
-		active = nextActive
-		anyActive = activity == 1
+		sweepSpan.Arg("changed", float64(changedCount)).End()
+		active, nextActive = nextActive, active
+		anyActive = active.Count() > 0
 	}
 	return runResult[V]{vals: vals, rounds: rounds}
 }
@@ -256,20 +251,24 @@ func runCluster[V, G any](g *graph.CSR, in *graph.CSR, spec Spec[V, G], c *clust
 		}
 	}
 
+	// Round-persistent scratch, cleared (not reallocated) per round.
 	changed := make([]bool, n)
+	staged := make([]V, n)
+	nextActive := make([]bool, n)
 	rounds := 0
 	for anyActive {
 		if spec.MaxIterations > 0 && rounds >= spec.MaxIterations {
 			break
 		}
 		rounds++
-		nextActive := make([]bool, n)
+		for i := range nextActive {
+			nextActive[i] = false
+		}
 		for i := range changed {
 			changed[i] = false
 		}
 		// Synchronous engine: stage values so every node's gathers observe
 		// the previous round.
-		staged := make([]V, n)
 		copy(staged, vals)
 		nextAny := false
 		roundStart := c.VirtualSeconds()
@@ -341,7 +340,7 @@ func runCluster[V, G any](g *graph.CSR, in *graph.CSR, spec Spec[V, G], c *clust
 			fmt.Sprintf("sweep %d", rounds), roundStart, c.VirtualSeconds()-roundStart,
 			map[string]float64{"changed": changedCount})
 		copy(vals, staged)
-		active = nextActive
+		active, nextActive = nextActive, active
 		anyActive = nextAny
 	}
 	return runResult[V]{vals: vals, rounds: rounds}, nil

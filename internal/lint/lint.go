@@ -79,6 +79,7 @@ func DefaultRules() []Rule {
 		&HotAllocRule{},
 		&LockRule{},
 		&PanicRule{},
+		&ScratchRule{},
 		&SpanRule{},
 		&TruncateRule{},
 		&DocRule{},
@@ -88,6 +89,7 @@ func DefaultRules() []Rule {
 // enginePackages are the relative paths of the hand-rolled runtime packages:
 // the concurrency-sensitive layer every rule set cares most about.
 var enginePackages = map[string]bool{
+	"internal/backend":   true,
 	"internal/par":       true,
 	"internal/galois":    true,
 	"internal/giraph":    true,

@@ -1,0 +1,71 @@
+package lint
+
+import "testing"
+
+func TestScratchRuleFlagsPerRoundMake(t *testing.T) {
+	p := loadFixture(t, "internal/giraph", map[string]string{"a.go": `package giraph
+
+type g struct{ NumVertices uint32 }
+
+func Run(gr *g, rounds int) {
+	for i := 0; i < rounds; i++ {
+		buf := make([]float64, gr.NumVertices)
+		_ = buf
+	}
+}
+`})
+	wantFinding(t, runRule(t, p, &ScratchRule{}), "internal/giraph/a.go", 7, "scratch")
+}
+
+func TestScratchRuleTracksLocalSizeAlias(t *testing.T) {
+	p := loadFixture(t, "internal/graphlab", map[string]string{"a.go": `package graphlab
+
+type g struct{ NumVertices uint32 }
+
+func Run(gr *g, rounds int) {
+	n := gr.NumVertices
+	m := n + 1
+	for i := 0; i < rounds; i++ {
+		buf := make([]int32, 0, m)
+		_ = buf
+	}
+}
+`})
+	wantFinding(t, runRule(t, p, &ScratchRule{}), "internal/graphlab/a.go", 9, "scratch")
+}
+
+func TestScratchRuleAcceptsHoistedBuffer(t *testing.T) {
+	p := loadFixture(t, "internal/giraph", map[string]string{"a.go": `package giraph
+
+type g struct{ NumVertices uint32 }
+
+func Run(gr *g, rounds int) {
+	buf := make([]float64, gr.NumVertices)
+	for i := 0; i < rounds; i++ {
+		small := make([]float64, 4)
+		_ = small
+	}
+	_ = buf
+}
+`})
+	if findings := runRule(t, p, &ScratchRule{}); len(findings) != 0 {
+		t.Fatalf("hoisted buffer and constant-size make must pass, got %v", findings)
+	}
+}
+
+func TestScratchRuleIgnoresNonEnginePackages(t *testing.T) {
+	p := loadFixture(t, "internal/harness", map[string]string{"a.go": `package harness
+
+type g struct{ NumVertices uint32 }
+
+func Run(gr *g, rounds int) {
+	for i := 0; i < rounds; i++ {
+		buf := make([]float64, gr.NumVertices)
+		_ = buf
+	}
+}
+`})
+	if findings := runRule(t, p, &ScratchRule{}); len(findings) != 0 {
+		t.Fatalf("non-engine packages are out of scope, got %v", findings)
+	}
+}

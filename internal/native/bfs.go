@@ -6,12 +6,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"graphmaze/internal/backend"
 	"graphmaze/internal/bitvec"
 	"graphmaze/internal/cluster"
 	"graphmaze/internal/codec"
 	"graphmaze/internal/core"
 	"graphmaze/internal/graph"
-	"graphmaze/internal/par"
 	"graphmaze/internal/trace"
 )
 
@@ -49,139 +49,14 @@ func (e *Engine) bfsLocal(g *graph.CSR, source uint32, tr *trace.Tracer) ([]int3
 		return bfsTopDownArray(g, dist, source)
 	}
 
-	visited := bitvec.New(n)
-	visited.Set(source)
-	frontier := []uint32{source}
-	level := int32(0)
-	var frontierEdges int64 = g.Degree(source)
-	remaining := int64(g.NumEdges())
-
-	if remaining < 1<<19 {
-		// Small graphs: goroutine fan-out costs more than it saves; run
-		// the whole traversal on one core with the bit-vector.
-		for len(frontier) > 0 {
-			level++
-			var next []uint32
-			for _, v := range frontier {
-				for _, t := range g.Neighbors(v) {
-					if !visited.Get(t) {
-						visited.Set(t)
-						dist[t] = level
-						next = append(next, t)
-					}
-				}
-			}
-			frontier = next
-		}
-		return dist, int(level)
-	}
-
-	for len(frontier) > 0 {
-		level++
-		sp := tr.Begin("native.bfs.level", "bfs level").
-			Arg("level", float64(level)).Arg("frontier", float64(len(frontier)))
-		// Direction optimization: when the frontier's edge volume is a
-		// large fraction of the untraversed graph, scanning unvisited
-		// vertices (bottom-up) touches less memory than expanding the
-		// frontier (top-down).
-		if frontierEdges*3 > remaining {
-			sp.Arg("direction", 1) // bottom-up
-			frontier = bfsBottomUp(g, dist, visited, level)
-		} else {
-			sp.Arg("direction", 0) // top-down
-			frontier = bfsTopDown(g, dist, visited, frontier, level)
-		}
-		remaining -= frontierEdges
-		frontierEdges = 0
-		for _, v := range frontier {
-			frontierEdges += g.Degree(v)
-		}
-		sp.End()
-	}
-	return dist, int(level)
-}
-
-// serialFrontierThreshold avoids goroutine fan-out for tiny frontiers,
-// where scheduling overhead would dominate the level's work.
-const serialFrontierThreshold = 512
-
-// frontierGrain is the dynamic chunk size for frontier expansion: the
-// per-vertex cost is its degree, which on a power-law graph varies by
-// orders of magnitude across one frontier, so workers claim small chunks
-// instead of being dealt equal vertex counts.
-const frontierGrain = 128
-
-// bfsTopDown expands the frontier in parallel, claiming vertices through
-// the atomic bit vector. Chunks are claimed dynamically (a frontier mixes
-// hubs and leaves); each chunk stages its discoveries under its lo index,
-// and chunk boundaries are fixed multiples of the grain, so the
-// concatenated next frontier is deterministic regardless of which worker
-// ran which chunk.
-func bfsTopDown(g *graph.CSR, dist []int32, visited *bitvec.Vector, frontier []uint32, level int32) []uint32 {
-	if len(frontier) < serialFrontierThreshold {
-		var next []uint32
-		for _, v := range frontier {
-			for _, t := range g.Neighbors(v) {
-				if !visited.Get(t) {
-					visited.Set(t)
-					dist[t] = level
-					next = append(next, t)
-				}
-			}
-		}
-		return next
-	}
-	results := make([][]uint32, len(frontier))
-	par.ForDynamic(len(frontier), frontierGrain, func(lo, hi int) {
-		next := make([]uint32, 0, hi-lo)
-		for i := lo; i < hi; i++ {
-			for _, t := range g.Neighbors(frontier[i]) {
-				if visited.SetAtomic(t) {
-					dist[t] = level
-					next = append(next, t)
-				}
-			}
-		}
-		results[lo] = next
-	})
-	var out []uint32
-	for _, r := range results {
-		out = append(out, r...)
-	}
-	return out
-}
-
-// bfsBottomUp scans unvisited vertices looking for any visited neighbour.
-// The scan skips visited vertices and stops a row early, so per-vertex
-// cost is unpredictable — dynamic chunks keep the workers level.
-func bfsBottomUp(g *graph.CSR, dist []int32, visited *bitvec.Vector, level int32) []uint32 {
-	n := int(g.NumVertices)
-	found := make([]uint32, 0, 1024)
-	var mu sleeplessLock
-	par.ForDynamic(n, 0, func(lo, hi int) {
-		local := make([]uint32, 0, hi-lo)
-		for v := lo; v < hi; v++ {
-			if visited.Get(uint32(v)) {
-				continue
-			}
-			for _, t := range g.Neighbors(uint32(v)) {
-				if visited.Get(t) && dist[t] == level-1 {
-					dist[v] = level
-					local = append(local, uint32(v))
-					break
-				}
-			}
-		}
-		if len(local) > 0 {
-			mu.Lock()
-			found = append(found, local...)
-			mu.Unlock()
-		}
-	})
-	for _, v := range found {
-		visited.Set(v)
-	}
-	return found
+	// Tuned path: the direction-switching bit-vector traversal lives in
+	// the shared backend (same serial cutover, same frontier grain, same
+	// 3× direction heuristic as the historical native kernel); the native
+	// engine is a thin wrapper that keeps its span name.
+	pool := backend.NewPool(0)
+	defer pool.Close()
+	tv := backend.NewTraversal(pool, backend.FromCSR(g), "native.bfs.level", tr)
+	return dist, tv.Run(dist, source)
 }
 
 // bfsTopDownArray is the no-bitvector baseline: serial-friendly top-down
@@ -203,16 +78,6 @@ func bfsTopDownArray(g *graph.CSR, dist []int32, source uint32) ([]int32, int) {
 	}
 	return dist, int(level)
 }
-
-// sleeplessLock is a minimal spinlock for the short bottom-up merge
-// sections (contention is rare and critical sections are tiny).
-type sleeplessLock struct{ state int32 }
-
-func (l *sleeplessLock) Lock() {
-	for !atomic.CompareAndSwapInt32(&l.state, 0, 1) {
-	}
-}
-func (l *sleeplessLock) Unlock() { atomic.StoreInt32(&l.state, 0) }
 
 // bfsCluster is the distributed level-synchronous BFS: 1-D partition,
 // per-level exchange of discovered remote candidates as (optionally

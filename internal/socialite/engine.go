@@ -231,8 +231,22 @@ func (e *Engine) BFS(g *graph.CSR, opt core.BFSOptions) (*core.BFSResult, error)
 	rounds := 0
 	if opt.Exec.Cluster == nil {
 		start := time.Now()
+		// The recursive rule's shape lowers onto the backend's
+		// persistent-claims expander; a round that violates the lowering's
+		// preconditions re-runs on the generic evaluator, permanently.
+		low, lowered := LowerBFSRule(rule)
+		if lowered {
+			defer low.Close()
+		}
 		for len(delta) > 0 {
 			rounds++
+			if lowered {
+				if next, ok := low.Round(delta); ok {
+					delta = next
+					continue
+				}
+				lowered = false
+			}
 			stats, err := EvalParallel(rule, 0, n, delta, nil, 0, true)
 			if err != nil {
 				return nil, err

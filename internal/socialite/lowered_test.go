@@ -1,0 +1,127 @@
+package socialite
+
+import (
+	"fmt"
+	"testing"
+)
+
+// buildBFSRule compiles the recursive BFS rule over g's edge table with a
+// fresh distance table seeded at source.
+func buildBFSRule(t *testing.T, edge *EdgeTable, source uint32) *Rule {
+	t.Helper()
+	dist := NewVecTable("BFS", edge.NumKeys())
+	dist.Put(source, Scalar(0))
+	reg := NewRegistry()
+	reg.Register(edge)
+	reg.Register(dist)
+	rule, err := Parse("BFS(t, $MIN(d)) :- BFS(s, d0), d = d0 + 1, EDGE(s, t).", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rule
+}
+
+// TestLoweredBFSMatchesGeneric runs the recursive rule to fixpoint through
+// the lowering and through EvalParallel and requires identical stored
+// tuples and identical round counts.
+func TestLoweredBFSMatchesGeneric(t *testing.T) {
+	g := fixtureUndirected(t)
+	edge := NewEdgeTable("EDGE", g)
+	const source = 3
+
+	genericRule := buildBFSRule(t, edge, source)
+	delta := []uint32{source}
+	genericRounds := 0
+	for len(delta) > 0 {
+		genericRounds++
+		stats, err := EvalParallel(genericRule, 0, g.NumVertices, delta, nil, 0, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delta = stats.Changed
+	}
+
+	loweredRule := buildBFSRule(t, edge, source)
+	low, ok := LowerBFSRule(loweredRule)
+	if !ok {
+		t.Fatal("BFS rule did not lower")
+	}
+	defer low.Close()
+	delta = []uint32{source}
+	loweredRounds := 0
+	for len(delta) > 0 {
+		loweredRounds++
+		next, ok := low.Round(delta)
+		if !ok {
+			t.Fatalf("lowering fell back on round %d", loweredRounds)
+		}
+		delta = next
+	}
+
+	if genericRounds != loweredRounds {
+		t.Fatalf("round counts differ: generic %d, lowered %d", genericRounds, loweredRounds)
+	}
+	want := genericRule.Head.Table
+	got := loweredRule.Head.Table
+	if want.Len() != got.Len() {
+		t.Fatalf("stored tuple counts differ: generic %d, lowered %d", want.Len(), got.Len())
+	}
+	want.ForEach(func(k uint32, v Value) {
+		gv, present := got.Get(k)
+		if !present || gv.S() != v.S() {
+			t.Fatalf("key %d: generic %v, lowered %v (present=%v)", k, v, gv, present)
+		}
+	})
+}
+
+// TestLowerBFSRuleRejectsNonRecursive pins the shape checks: the PageRank
+// rule (head table distinct from the driver, $SUM fold) must not lower.
+func TestLowerBFSRuleRejectsNonRecursive(t *testing.T) {
+	g := fixtureDirected(t)
+	n := g.NumVertices
+	outEdge := NewEdgeTable("OUTEDGE", g)
+	outDeg := NewVecTable("OUTDEG", n)
+	for v := uint32(0); v < n; v++ {
+		outDeg.Put(v, Scalar(float64(g.Degree(v))))
+	}
+	rank := NewVecTable("RANK", n)
+	reg := NewRegistry()
+	reg.Register(outEdge)
+	reg.Register(outDeg)
+	reg.Register(rank)
+	reg.Register(NewVecTable("RANK2", n))
+	rule, err := Parse(fmt.Sprintf(
+		"RANK2[n]($SUM(v)) :- RANK[s](v0), OUTDEG[s](d), v = (1-%g)*v0/d, OUTEDGE[s](n).", 0.3), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := LowerBFSRule(rule); ok {
+		t.Fatal("non-recursive $SUM rule must not lower")
+	}
+}
+
+// TestLoweredRoundFallsBackOnNonUniformDelta pins the runtime guard: a
+// delta whose sources emit different head values must refuse to lower —
+// without mutating the table — so the generic evaluator can re-run it.
+func TestLoweredRoundFallsBackOnNonUniformDelta(t *testing.T) {
+	g := fixtureUndirected(t)
+	edge := NewEdgeTable("EDGE", g)
+	rule := buildBFSRule(t, edge, 3)
+	// A second seed at a different depth makes the first delta non-uniform.
+	rule.Head.Table.Put(5, Scalar(7))
+	low, ok := LowerBFSRule(rule)
+	if !ok {
+		t.Fatal("BFS rule did not lower")
+	}
+	defer low.Close()
+	before := rule.Head.Table.Len()
+	if _, ok := low.Round([]uint32{3, 5}); ok {
+		t.Fatal("non-uniform delta must not lower")
+	}
+	if rule.Head.Table.Len() != before {
+		t.Fatal("failed round mutated the head table")
+	}
+	if _, ok := low.Round([]uint32{3}); ok {
+		t.Fatal("lowering must stay dead after a violation")
+	}
+}
