@@ -14,6 +14,8 @@ import (
 	"testing"
 
 	"graphmaze/internal/harness"
+	"graphmaze/internal/obs"
+	"graphmaze/internal/trace"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -93,17 +95,41 @@ func benchInputs(b *testing.B) (pr, bfs, tc *Graph, cf *Ratings) {
 	return pr, bfs, tc, cf
 }
 
-// BenchmarkPageRank measures one engine iteration of PageRank per engine.
+// reportPhaseQuantiles emits p50-ns/op and p99-ns/op from the tracer's
+// busiest per-phase duration histogram (native.pr.iter, giraph.superstep,
+// ... — whichever the engine recorded most), so `benchjson -diff` can gate
+// tail latency alongside the mean.
+func reportPhaseQuantiles(b *testing.B, tr *trace.Tracer) {
+	b.Helper()
+	var best obs.HistSnapshot
+	found := false
+	for name, hs := range tr.Registry().HistSnapshots() {
+		if len(name) > 7 && name[len(name)-7:] == ".dur_ns" && hs.Count > best.Count {
+			best, found = hs, true
+		}
+	}
+	if !found {
+		return
+	}
+	q := best.Summary()
+	b.ReportMetric(float64(q.P50), "p50-ns/op")
+	b.ReportMetric(float64(q.P99), "p99-ns/op")
+}
+
+// BenchmarkPageRank measures one engine iteration of PageRank per engine,
+// with per-iteration latency quantiles from the obs histograms.
 func BenchmarkPageRank(b *testing.B) {
 	g, _, _, _ := benchInputs(b)
 	for _, eng := range Engines() {
 		b.Run(eng.Name(), func(b *testing.B) {
+			tr := trace.New()
 			b.SetBytes(g.NumEdges() * 12)
 			for i := 0; i < b.N; i++ {
-				if _, err := eng.PageRank(g, PageRankOptions{Iterations: 1}); err != nil {
+				if _, err := eng.PageRank(g, PageRankOptions{Iterations: 1, Exec: Exec{Trace: tr}}); err != nil {
 					b.Fatal(err)
 				}
 			}
+			reportPhaseQuantiles(b, tr)
 		})
 	}
 }

@@ -21,6 +21,13 @@
 // up. A ns/op regression is new > old·threshold; an allocs/op regression
 // additionally tolerates +0.5 alloc of noise. Benchmarks present in only
 // one file are reported but never fail the diff.
+//
+// Latency-quantile metrics — the pN-ns/op values benchmarks emit via
+// ReportMetric from obs histograms (p50-ns/op, p99-ns/op, ...) — are
+// compared under their own -quantile-threshold, since tail quantiles are
+// noisier than means. A quantile present in only one of the two files
+// (e.g. the old baseline predates instrumentation) is reported as skipped
+// and never fails the diff.
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -46,6 +54,7 @@ type result struct {
 func main() {
 	diff := flag.Bool("diff", false, "compare two benchmark JSON files (old new) instead of converting stdin")
 	threshold := flag.Float64("threshold", 1.25, "with -diff: fail when new ns/op or allocs/op exceeds old by this factor")
+	qThreshold := flag.Float64("quantile-threshold", 2.0, "with -diff: fail when a pN-ns/op quantile metric exceeds old by this factor")
 	flag.Parse()
 
 	if *diff {
@@ -53,7 +62,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two files: old.json new.json")
 			os.Exit(2)
 		}
-		regressed, err := runDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		regressed, err := runDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold, *qThreshold)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
@@ -162,12 +171,62 @@ type diffLine struct {
 	newAllocs float64
 	hasAllocs bool
 	regressed bool
+	quants    []quantDelta
+	qSkipped  []string
+}
+
+// quantDelta is one matched pN-ns/op quantile metric's comparison.
+type quantDelta struct {
+	unit      string
+	oldV      float64
+	newV      float64
+	regressed bool
+}
+
+// isQuantileMetric reports whether a metric unit is a latency-quantile
+// field: "p" followed by digits then "-ns/op" (p50-ns/op, p999-ns/op).
+func isQuantileMetric(unit string) bool {
+	if !strings.HasPrefix(unit, "p") || !strings.HasSuffix(unit, "-ns/op") {
+		return false
+	}
+	digits := unit[1 : len(unit)-len("-ns/op")]
+	if digits == "" {
+		return false
+	}
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// quantileUnits returns the sorted union of quantile metric units present
+// in either result.
+func quantileUnits(or, nr result) []string {
+	set := map[string]bool{}
+	for unit := range or.Metrics {
+		if isQuantileMetric(unit) {
+			set[unit] = true
+		}
+	}
+	for unit := range nr.Metrics {
+		if isQuantileMetric(unit) {
+			set[unit] = true
+		}
+	}
+	units := make([]string, 0, len(set))
+	for unit := range set {
+		units = append(units, unit)
+	}
+	sort.Strings(units)
+	return units
 }
 
 // runDiff compares old and new benchmark files, prints a per-benchmark
 // delta table to w, and reports whether any matched benchmark regressed
-// past the threshold.
-func runDiff(w io.Writer, oldPath, newPath string, threshold float64) (bool, error) {
+// past the threshold (qThreshold for pN-ns/op quantile metrics).
+func runDiff(w io.Writer, oldPath, newPath string, threshold, qThreshold float64) (bool, error) {
 	oldRs, err := loadResults(oldPath)
 	if err != nil {
 		return false, err
@@ -205,6 +264,20 @@ func runDiff(w io.Writer, oldPath, newPath string, threshold float64) (bool, err
 		if l.hasAllocs && l.newAllocs > l.oldAllocs*threshold+0.5 {
 			l.regressed = true
 		}
+		for _, unit := range quantileUnits(or, nr) {
+			ov, oOK := or.Metrics[unit]
+			nv, nOK := nr.Metrics[unit]
+			if !oOK || !nOK {
+				l.qSkipped = append(l.qSkipped, unit)
+				continue
+			}
+			q := quantDelta{unit: unit, oldV: ov, newV: nv}
+			if nv > ov*qThreshold {
+				q.regressed = true
+				l.regressed = true
+			}
+			l.quants = append(l.quants, q)
+		}
 		lines = append(lines, l)
 	}
 	for _, or := range oldRs {
@@ -233,6 +306,16 @@ func runDiff(w io.Writer, oldPath, newPath string, threshold float64) (bool, err
 			fmt.Fprintf(w, " %8.0f -> %8.0f allocs/op", l.oldAllocs, l.newAllocs)
 		}
 		fmt.Fprintf(w, "  %s\n", status)
+		for _, q := range l.quants {
+			qs := "ok"
+			if q.regressed {
+				qs = "REGRESSED"
+			}
+			fmt.Fprintf(w, "%-60s %12.0f -> %12.0f %s  %s\n", "  "+l.name, q.oldV, q.newV, q.unit, qs)
+		}
+		for _, unit := range l.qSkipped {
+			fmt.Fprintf(w, "%-60s %s present in one file only; skipped\n", "  "+l.name, unit)
+		}
 	}
 	if anyRegressed {
 		fmt.Fprintf(w, "benchjson: regression past %.2fx threshold\n", threshold)

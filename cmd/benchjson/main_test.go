@@ -66,7 +66,7 @@ func TestDiffDetectsNsRegression(t *testing.T) {
 	oldP := writeBench(t, "old.json", `[{"name":"BenchmarkX-8","iterations":10,"ns_per_op":100}]`)
 	newP := writeBench(t, "new.json", `[{"name":"BenchmarkX-4","iterations":10,"ns_per_op":200}]`)
 	var out strings.Builder
-	regressed, err := runDiff(&out, oldP, newP, 1.25)
+	regressed, err := runDiff(&out, oldP, newP, 1.25, 2.0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestDiffWithinThresholdPasses(t *testing.T) {
 	oldP := writeBench(t, "old.json", `[{"name":"BenchmarkX-8","iterations":10,"ns_per_op":100,"metrics":{"allocs/op":3}}]`)
 	newP := writeBench(t, "new.json", `[{"name":"BenchmarkX-8","iterations":10,"ns_per_op":110,"metrics":{"allocs/op":3}}]`)
 	var out strings.Builder
-	regressed, err := runDiff(&out, oldP, newP, 1.25)
+	regressed, err := runDiff(&out, oldP, newP, 1.25, 2.0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestDiffDetectsAllocRegression(t *testing.T) {
 	oldP := writeBench(t, "old.json", `[{"name":"BenchmarkX-8","iterations":10,"ns_per_op":100,"metrics":{"allocs/op":0}}]`)
 	newP := writeBench(t, "new.json", `[{"name":"BenchmarkX-8","iterations":10,"ns_per_op":100,"metrics":{"allocs/op":5}}]`)
 	var out strings.Builder
-	regressed, err := runDiff(&out, oldP, newP, 1.25)
+	regressed, err := runDiff(&out, oldP, newP, 1.25, 2.0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,11 +104,81 @@ func TestDiffDetectsAllocRegression(t *testing.T) {
 	}
 }
 
+func TestIsQuantileMetric(t *testing.T) {
+	cases := map[string]bool{
+		"p50-ns/op": true, "p99-ns/op": true, "p999-ns/op": true,
+		"ns/op": false, "allocs/op": false, "p-ns/op": false,
+		"pX9-ns/op": false, "p50-B/op": false,
+	}
+	for unit, want := range cases {
+		if got := isQuantileMetric(unit); got != want {
+			t.Errorf("isQuantileMetric(%q) = %v, want %v", unit, got, want)
+		}
+	}
+}
+
+func TestDiffQuantileRegression(t *testing.T) {
+	oldP := writeBench(t, "old.json",
+		`[{"name":"BenchmarkX-8","iterations":10,"ns_per_op":100,"metrics":{"p50-ns/op":40,"p99-ns/op":90}}]`)
+	newP := writeBench(t, "new.json",
+		`[{"name":"BenchmarkX-8","iterations":10,"ns_per_op":100,"metrics":{"p50-ns/op":42,"p99-ns/op":500}}]`)
+	var out strings.Builder
+	regressed, err := runDiff(&out, oldP, newP, 1.25, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("p99 90 -> 500 past 2x quantile threshold not flagged; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "p99-ns/op  REGRESSED") {
+		t.Errorf("p99 regression not attributed in output:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "p50-ns/op  REGRESSED") {
+		t.Errorf("p50 within threshold wrongly flagged:\n%s", out.String())
+	}
+}
+
+func TestDiffQuantileWithinThresholdPasses(t *testing.T) {
+	oldP := writeBench(t, "old.json",
+		`[{"name":"BenchmarkX-8","iterations":10,"ns_per_op":100,"metrics":{"p99-ns/op":90}}]`)
+	newP := writeBench(t, "new.json",
+		`[{"name":"BenchmarkX-8","iterations":10,"ns_per_op":100,"metrics":{"p99-ns/op":150}}]`)
+	var out strings.Builder
+	regressed, err := runDiff(&out, oldP, newP, 1.25, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("p99 within 2x quantile threshold flagged; output:\n%s", out.String())
+	}
+}
+
+func TestDiffQuantileMissingFieldSkipped(t *testing.T) {
+	// Old baseline predates histogram instrumentation: its record has no
+	// quantile metrics. The new quantiles must be reported as skipped and
+	// must not fail the diff, regardless of magnitude.
+	oldP := writeBench(t, "old.json",
+		`[{"name":"BenchmarkX-8","iterations":10,"ns_per_op":100}]`)
+	newP := writeBench(t, "new.json",
+		`[{"name":"BenchmarkX-8","iterations":10,"ns_per_op":100,"metrics":{"p99-ns/op":1e12}}]`)
+	var out strings.Builder
+	regressed, err := runDiff(&out, oldP, newP, 1.25, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("quantile present only in new file must not fail; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "p99-ns/op present in one file only; skipped") {
+		t.Errorf("skipped quantile not reported:\n%s", out.String())
+	}
+}
+
 func TestDiffNoOverlapIsClean(t *testing.T) {
 	oldP := writeBench(t, "old.json", `[{"name":"BenchmarkA-8","iterations":10,"ns_per_op":100}]`)
 	newP := writeBench(t, "new.json", `[{"name":"BenchmarkB-8","iterations":10,"ns_per_op":900}]`)
 	var out strings.Builder
-	regressed, err := runDiff(&out, oldP, newP, 1.25)
+	regressed, err := runDiff(&out, oldP, newP, 1.25, 2.0)
 	if err != nil {
 		t.Fatal(err)
 	}

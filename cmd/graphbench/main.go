@@ -9,6 +9,8 @@
 //	graphbench -exp fig4 -nodes 1,4,16,64 -scale 12
 //	graphbench -exp all -quick
 //	graphbench -exp table5 -trace t.json -json
+//	graphbench -exp table5 -obs :8080          # curl http://localhost:8080/metrics
+//	graphbench -exp table5 -cpuprofile cpu.pprof -memprofile heap.pprof
 package main
 
 import (
@@ -17,8 +19,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"graphmaze/internal/harness"
+	"graphmaze/internal/obs"
 	"graphmaze/internal/trace"
 )
 
@@ -34,6 +38,11 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON report on stdout (tables move to stderr)")
 		faults   = flag.String("faults", "", "fault plan for the faulttol experiment, e.g. 'crash@6:n1,degrade@0-3x4' or 'seed@42:c2'")
 		ckptIv   = flag.Int("ckpt-interval", 0, "checkpoint interval in phases for faulttol recovery runs (0 = default)")
+		obsAddr  = flag.String("obs", "", "serve live metrics (Prometheus text, JSON, pprof) on this address, e.g. :8080")
+		obsWait  = flag.Duration("obs-linger", 0, "keep the -obs listener alive this long after the run (for scraping a finished run)")
+		obsIv    = flag.Duration("obs-sample", obs.DefaultSampleInterval, "runtime-stats sampling interval for the -obs registry")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
 	flag.Parse()
 
@@ -56,8 +65,36 @@ func main() {
 		opt.Out = os.Stderr
 		opt.JSON = os.Stdout
 	}
-	if *traceOut != "" || *jsonOut {
+	// Observability and profiling all hang off the tracer's metrics
+	// registry, so any of those flags implies tracing.
+	if *traceOut != "" || *jsonOut || *obsAddr != "" || *cpuProf != "" || *memProf != "" {
 		opt.Trace = trace.New()
+	}
+	var sampler *obs.Sampler
+	var server *obs.Server
+	if *obsAddr != "" {
+		reg := opt.Trace.Registry()
+		var err error
+		server, err = obs.Serve(*obsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graphbench: obs listener:", err)
+			os.Exit(1)
+		}
+		defer server.Close()
+		sampler = obs.StartSampler(reg, *obsIv)
+		fmt.Fprintf(os.Stderr, "graphbench: serving metrics on http://%s/metrics (pprof at /debug/pprof/)\n", server.Addr())
+	}
+	if *cpuProf != "" {
+		stop, err := obs.StartCPUProfile(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graphbench: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "graphbench: cpuprofile:", err)
+			}
+		}()
 	}
 	if *nodes != "" {
 		for _, part := range strings.Split(*nodes, ",") {
@@ -79,5 +116,21 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "graphbench: wrote trace to %s (load at https://ui.perfetto.dev)\n", *traceOut)
+	}
+	if *memProf != "" {
+		if err := obs.WriteHeapProfile(*memProf); err != nil {
+			fmt.Fprintln(os.Stderr, "graphbench: memprofile:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "graphbench: wrote heap profile to %s\n", *memProf)
+	}
+	if server != nil && *obsWait > 0 {
+		// Final runtime sample, then hold the listener open so the finished
+		// run's histograms can still be scraped.
+		sampler.Stop()
+		fmt.Fprintf(os.Stderr, "graphbench: obs listener lingering %s on http://%s/\n", *obsWait, server.Addr())
+		time.Sleep(*obsWait)
+	} else {
+		sampler.Stop()
 	}
 }

@@ -109,9 +109,14 @@ func (t *Traversal) Run(dist []int32, source uint32) int {
 		return int(level)
 	}
 
+	// Frontier-size distribution: levels span several orders of magnitude
+	// on power-law graphs, and the histogram keeps that shape where the
+	// per-level spans only keep instances.
+	frontierHist := t.tr.Hist("backend.frontier_size")
 	for len(frontier) > 0 {
 		level++
 		t.level = level
+		frontierHist.Record(0, int64(len(frontier)))
 		sp := t.tr.Begin(t.span, "bfs level").
 			Arg("level", float64(level)).Arg("frontier", float64(len(frontier)))
 		pull := frontierEdges*3 > remaining

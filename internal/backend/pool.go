@@ -3,8 +3,11 @@ package backend
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"graphmaze/internal/obs"
 	"graphmaze/internal/par"
+	"graphmaze/internal/trace"
 )
 
 // chunkRunner is the unit of work a Pool dispatches: a kernel that can
@@ -47,6 +50,44 @@ type Pool struct {
 	limit  int
 	grain  int
 	closed bool
+
+	// po is the observability attachment (nil when detached, the default).
+	// An atomic pointer because SetTracer may run while workers are parked
+	// in serve; the handles inside are lock-free to use.
+	po atomic.Pointer[poolObs]
+}
+
+// poolObs bundles the metrics a pool feeds once a tracer is attached:
+// dispatch wall-time and per-worker park-time histograms, plus a busy
+// fraction gauge (dispatch time / wall time since attach). busyNS is
+// only touched under p.mu (dispatch runs with it held).
+type poolObs struct {
+	dispatch *obs.Histogram
+	park     *obs.Histogram
+	busy     *obs.Gauge
+	attached time.Time
+	busyNS   int64
+}
+
+// SetTracer attaches the tracer's metrics registry to the pool: every
+// dispatch records its wall time into backend.pool.dispatch_ns, each
+// woken worker records how long it was parked into backend.pool.park_ns,
+// and backend.pool.busy_frac tracks the fraction of wall time spent
+// dispatching. A nil tracer (or one with no registry) detaches; detached
+// pools pay one atomic load per dispatch and per worker wake.
+func (p *Pool) SetTracer(tr *trace.Tracer) {
+	reg := tr.Registry()
+	if reg == nil {
+		p.po.Store(nil)
+		return
+	}
+	reg.Gauge("backend.pool.workers").Set(float64(p.workers))
+	p.po.Store(&poolObs{
+		dispatch: reg.Hist("backend.pool.dispatch_ns"),
+		park:     reg.HistLanes("backend.pool.park_ns", p.workers),
+		busy:     reg.Gauge("backend.pool.busy_frac"),
+		attached: time.Now(),
+	})
 }
 
 // NewPool starts a pool with the given worker count; workers <= 0 means
@@ -85,9 +126,20 @@ func (p *Pool) Close() {
 }
 
 func (p *Pool) serve(w int, wake chan struct{}) {
+	// parked is when this worker last went idle; zero while detached so a
+	// freshly attached tracer does not credit the pre-attach idle stretch.
+	var parked time.Time
 	for range wake {
+		if o := p.po.Load(); o != nil && !parked.IsZero() {
+			o.park.Record(w, time.Since(parked).Nanoseconds())
+		}
 		p.work(w)
 		p.done <- struct{}{}
+		if p.po.Load() != nil {
+			parked = time.Now()
+		} else {
+			parked = time.Time{}
+		}
 	}
 }
 
@@ -114,12 +166,25 @@ func (p *Pool) work(w int) {
 }
 
 func (p *Pool) dispatch() {
+	o := p.po.Load()
+	var start time.Time
+	if o != nil {
+		start = time.Now()
+	}
 	for w := 1; w < p.workers; w++ {
 		p.wake[w] <- struct{}{}
 	}
 	p.work(0)
 	for w := 1; w < p.workers; w++ {
 		<-p.done
+	}
+	if o != nil {
+		d := time.Since(start).Nanoseconds()
+		o.dispatch.Record(0, d)
+		o.busyNS += d
+		if el := time.Since(o.attached).Nanoseconds(); el > 0 {
+			o.busy.Set(float64(o.busyNS) / float64(el))
+		}
 	}
 }
 

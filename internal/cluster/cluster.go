@@ -19,6 +19,7 @@ import (
 	"graphmaze/internal/ckpt"
 	"graphmaze/internal/fault"
 	"graphmaze/internal/metrics"
+	"graphmaze/internal/obs"
 	"graphmaze/internal/trace"
 )
 
@@ -157,6 +158,14 @@ type Cluster struct {
 	baselineMem []int64 // engine-declared resident bytes per node
 	phases      int
 	virtualSec  float64 // accumulated modeled wall clock
+
+	// Per-phase attribution histograms (virtual nanoseconds, one lane per
+	// node), resolved once at New from the tracer's registry; all nil — and
+	// therefore free — when tracing is disabled.
+	computeHist *obs.Histogram
+	netHist     *obs.Histogram
+	waitHist    *obs.Histogram
+	phaseHist   *obs.Histogram
 }
 
 // New returns a cluster for the given configuration.
@@ -176,6 +185,12 @@ func New(cfg Config) (*Cluster, error) {
 	c.resetOutbox()
 	for n := 0; n < cfg.Nodes; n++ {
 		cfg.Trace.SetProcessName(trace.PidNode(n), fmt.Sprintf("node %d (%s, virtual time)", n, cfg.Comm.Name))
+	}
+	if reg := cfg.Trace.Registry(); reg != nil {
+		c.computeHist = reg.HistLanes("cluster.compute_ns", cfg.Nodes)
+		c.netHist = reg.HistLanes("cluster.network_ns", cfg.Nodes)
+		c.waitHist = reg.HistLanes("cluster.wait_ns", cfg.Nodes)
+		c.phaseHist = reg.HistLanes("cluster.phase_wall_ns", cfg.Nodes)
 	}
 	return c, nil
 }
@@ -392,6 +407,13 @@ func (c *Cluster) RunPhase(compute func(node int) error) error {
 					"bytes":       float64(nodeBytes[n]),
 					"messages":    float64(nodeMsgs[n]),
 				})
+			// The same attribution, distribution-shaped: per-node virtual
+			// nanoseconds so the trace report can quote p50/p99 compute vs
+			// network vs barrier wait instead of only per-phase totals.
+			c.computeHist.Record(n, int64(computeSec[n]*1e9))
+			c.netHist.Record(n, int64(netSec[n]*1e9))
+			c.waitHist.Record(n, int64(wait*1e9))
+			c.phaseHist.Record(n, int64(wall*1e9))
 		}
 	}
 	c.virtualSec += wall

@@ -76,6 +76,54 @@ func TestRunPhaseEmitsSpans(t *testing.T) {
 	}
 }
 
+// TestRunPhaseFeedsAttributionHistograms: each traced phase records one
+// observation per node into the compute/network/wait/wall histograms, and
+// the observed totals agree with the span attribution.
+func TestRunPhaseFeedsAttributionHistograms(t *testing.T) {
+	tr := trace.New()
+	cfg := testConfig(3)
+	cfg.Trace = tr
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const phases = 4
+	for phase := 0; phase < phases; phase++ {
+		err := c.RunPhase(func(n int) error {
+			time.Sleep(time.Duration(n+1) * time.Millisecond)
+			c.Account(n, 1<<20, 8)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	hs := tr.Registry().HistSnapshots()
+	for _, name := range []string{"cluster.compute_ns", "cluster.network_ns", "cluster.wait_ns", "cluster.phase_wall_ns"} {
+		if got := hs[name]; got.Count != phases*3 {
+			t.Errorf("%s count = %d, want %d", name, got.Count, phases*3)
+		}
+	}
+	// Wall per observation is the phase wall clock, identical across the
+	// phase's nodes; its histogram sum must therefore be nodes × virtual
+	// seconds (up to ns truncation).
+	wallSec := float64(hs["cluster.phase_wall_ns"].Sum) / 1e9
+	if want := 3 * c.VirtualSeconds(); wallSec < want-1e-3 || wallSec > want+1e-3 {
+		t.Errorf("phase_wall hist sum %v, want %v", wallSec, want)
+	}
+	// The trace summary quotes the same histograms as quantiles.
+	s := trace.Summarize(tr)
+	found := false
+	for _, h := range s.Histograms {
+		if h.Name == "cluster.compute_ns" && h.P50 > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("summary missing cluster.compute_ns quantiles: %+v", s.Histograms)
+	}
+}
+
 // TestRunPhaseUntraced: a cluster without a tracer runs phases normally —
 // the virtual clock advances, the report fills in, and no tracer is exposed.
 func TestRunPhaseUntraced(t *testing.T) {

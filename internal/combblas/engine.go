@@ -112,6 +112,7 @@ func (e *Engine) PageRank(g *graph.CSR, opt core.PageRankOptions) (*core.PageRan
 		// output allocation are gone.
 		pool := backend.NewPool(0)
 		defer pool.Close()
+		pool.SetTracer(tr)
 		mul := backend.NewSumVecMul(pool, backendView(at)).WithTracer(tr)
 		post := func(r uint32, y float64) float64 {
 			return opt.RandomJump + (1-opt.RandomJump)*y
@@ -201,6 +202,7 @@ func (e *Engine) BFS(g *graph.CSR, opt core.BFSOptions) (*core.BFSResult, error)
 		// per-level marks scan, and its scratch survives across levels.
 		pool := backend.NewPool(0)
 		defer pool.Close()
+		pool.SetTracer(opt.Exec.Tracer())
 		exp = backend.NewExpander(pool, backendView(a))
 		exp.Claim(opt.Source)
 	}

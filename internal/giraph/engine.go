@@ -202,7 +202,7 @@ func (e *Engine) BFS(g *graph.CSR, opt core.BFSOptions) (*core.BFSResult, error)
 	job.EncodeValue, job.DecodeValue = Int32Codec()
 	// Local combiner-less runs lower onto the backend's persistent-claims
 	// frontier expander (min-combine ≡ first claim wins).
-	job.Lowered = func() Lowering { return newBFSLowering(g, source) }
+	job.Lowered = func() Lowering { return newBFSLowering(g, source, job.Tracer) }
 	if e.combine {
 		// BFS messages fold with min (§6.2 recommendation).
 		job.Combiner = func(a, b any) any {

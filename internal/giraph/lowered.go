@@ -53,6 +53,7 @@ type prLowering struct {
 func newPRLowering(g *graph.CSR, r float64, maxSupersteps int, tr *trace.Tracer) *prLowering {
 	n := int(g.NumVertices)
 	pool := backend.NewPool(0)
+	pool.SetTracer(tr)
 	at := backend.FromCSR(g.Transpose())
 	l := &prLowering{
 		pool:    pool,
@@ -131,9 +132,10 @@ type bfsLowering struct {
 // bfsInfinity mirrors the vertex program's unreached sentinel.
 const bfsInfinity = int32(1) << 30
 
-func newBFSLowering(g *graph.CSR, source uint32) *bfsLowering {
+func newBFSLowering(g *graph.CSR, source uint32, tr *trace.Tracer) *bfsLowering {
 	n := g.NumVertices
 	pool := backend.NewPool(0)
+	pool.SetTracer(tr)
 	l := &bfsLowering{
 		pool:    pool,
 		exp:     backend.NewExpander(pool, backend.FromCSR(g)),

@@ -247,6 +247,11 @@ func runLowered(job *Job) (*Result, error) {
 	tr := job.Tracer
 	activeCounter := tr.Counter("giraph.active_vertices")
 	msgCounter := tr.Counter("giraph.messages")
+	// Distribution views of the same signals: per-superstep message count
+	// and buffered bytes, so the tail (the superstep that blew the buffer
+	// budget) survives aggregation.
+	msgHist := tr.Hist("giraph.superstep.messages")
+	bufHist := tr.Hist("giraph.superstep.buffered_bytes")
 	var peak int64
 	var supersteps int
 	lastMsgs := int64(0)
@@ -265,6 +270,8 @@ func runLowered(job *Job) (*Result, error) {
 		sp.Arg("active", float64(active)).
 			Arg("messages", float64(msgs)).
 			Arg("buffered_bytes", float64(buffered)).End()
+		msgHist.Record(0, msgs)
+		bufHist.Record(0, buffered)
 		if buffered > peak {
 			peak = buffered
 		}

@@ -99,6 +99,7 @@ func pageRankLowered(g *graph.CSR, in *graph.CSR, opt core.PageRankOptions, tr *
 	outDeg := g.OutDegrees()
 	pool := backend.NewPool(0)
 	defer pool.Close()
+	pool.SetTracer(tr)
 	mul := backend.NewSumVecMul(pool, backend.FromCSR(in)).WithTracer(tr)
 	vals := make([]float64, n)
 	for i := range vals {

@@ -91,6 +91,7 @@ func runLocal[V, G any](g *graph.CSR, in *graph.CSR, spec Spec[V, G]) runResult[
 
 	pool := backend.NewPool(0)
 	defer pool.Close()
+	pool.SetTracer(spec.Tracer)
 	staged := make([]V, n)
 	changed := make([]byte, n)
 	nextActive := bitvec.New(n)
@@ -132,6 +133,9 @@ func runLocal[V, G any](g *graph.CSR, in *graph.CSR, spec Spec[V, G]) runResult[
 	})
 
 	rounds := 0
+	// changedHist tracks how many vertices each sweep actually moved — the
+	// convergence-shape distribution behind the sweep spans.
+	changedHist := spec.Tracer.Hist("graphlab.sweep.changed")
 	for anyActive {
 		if spec.MaxIterations > 0 && rounds >= spec.MaxIterations {
 			break
@@ -150,6 +154,7 @@ func runLocal[V, G any](g *graph.CSR, in *graph.CSR, spec Spec[V, G]) runResult[
 			}
 		}
 		sweepSpan.Arg("changed", float64(changedCount)).End()
+		changedHist.Record(0, int64(changedCount))
 		active, nextActive = nextActive, active
 		anyActive = active.Count() > 0
 	}

@@ -23,6 +23,7 @@ import (
 	"graphmaze/internal/graphlab"
 	"graphmaze/internal/metrics"
 	"graphmaze/internal/native"
+	"graphmaze/internal/obs"
 	"graphmaze/internal/par"
 	"graphmaze/internal/socialite"
 	"graphmaze/internal/trace"
@@ -70,6 +71,12 @@ type RunRecord struct {
 	Seconds float64         `json:"seconds"`
 	Error   string          `json:"error,omitempty"`
 	Report  *metrics.Report `json:"report,omitempty"`
+	// Hists holds the quantile summary of every registry histogram that
+	// recorded during this run and no other (the harness diffs histogram
+	// snapshots around each engine execution): per-phase latency tails,
+	// pool dispatch/park times, chunk-claim latency. Only present when
+	// tracing is on.
+	Hists map[string]obs.Quantiles `json:"hists,omitempty"`
 }
 
 // jsonReport is the top-level machine-readable experiment report.
@@ -246,6 +253,13 @@ type measurement struct {
 // (§5.4): capacity scales with the input rather than staying at the
 // paper's literal 64 GB.
 func runOne(opt Options, e core.Engine, algo Algo, in inputs, nodes, iterations int) measurement {
+	// Snapshot the histogram registry before the run so the record can
+	// carry exactly this run's observations (bucket counters are monotone,
+	// so the snapshot difference is exact even on a shared tracer).
+	var before map[string]obs.HistSnapshot
+	if opt.rec != nil {
+		before = opt.Trace.Registry().HistSnapshots()
+	}
 	sp := opt.Trace.Begin("harness.run", fmt.Sprintf("%s %s", e.Name(), algo)).
 		Arg("nodes", float64(nodes))
 	m := runMeasured(opt, e, algo, in, nodes, iterations)
@@ -259,6 +273,7 @@ func runOne(opt Options, e core.Engine, algo Algo, in inputs, nodes, iterations 
 			r := m.report
 			rec.Report = &r
 		}
+		rec.Hists = obs.DeltaQuantiles(before, opt.Trace.Registry().HistSnapshots())
 		*opt.rec = append(*opt.rec, rec)
 	}
 	return m

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"graphmaze/internal/obs"
 	"graphmaze/internal/trace"
 )
 
@@ -221,9 +222,10 @@ func TestRunJSONAndTrace(t *testing.T) {
 	var rep struct {
 		Experiment string `json:"experiment"`
 		Runs       []struct {
-			Engine  string  `json:"engine"`
-			Algo    string  `json:"algo"`
-			Seconds float64 `json:"seconds"`
+			Engine  string                   `json:"engine"`
+			Algo    string                   `json:"algo"`
+			Seconds float64                  `json:"seconds"`
+			Hists   map[string]obs.Quantiles `json:"hists"`
 		} `json:"runs"`
 		Trace *trace.Summary `json:"trace"`
 	}
@@ -246,6 +248,24 @@ func TestRunJSONAndTrace(t *testing.T) {
 	}
 	if rep.Trace.Spans == 0 {
 		t.Error("trace summary has no spans")
+	}
+	if len(rep.Trace.Histograms) == 0 {
+		t.Error("trace summary has no histogram quantiles")
+	}
+
+	// Per-run histogram deltas: every traced run wraps itself in a
+	// harness.run span, so at minimum its own duration histogram must
+	// appear in the run's quantile map with exactly the observations this
+	// run added (table5 runs one engine execution per record).
+	for _, r := range rep.Runs {
+		q, ok := r.Hists["harness.run.dur_ns"]
+		if !ok {
+			t.Errorf("%s/%s run record missing harness.run.dur_ns quantiles: %v", r.Engine, r.Algo, r.Hists)
+			continue
+		}
+		if q.Count != 1 || q.P50 <= 0 || q.Max < q.P50 {
+			t.Errorf("%s/%s harness.run quantiles implausible: %+v", r.Engine, r.Algo, q)
+		}
 	}
 
 	// Every run is wrapped in a harness.run span, and the engines under

@@ -78,6 +78,7 @@ func DefaultRules() []Rule {
 		&GoroutineRule{},
 		&HotAllocRule{},
 		&LockRule{},
+		&ObsRule{},
 		&PanicRule{},
 		&ScratchRule{},
 		&SpanRule{},

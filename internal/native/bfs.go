@@ -55,6 +55,7 @@ func (e *Engine) bfsLocal(g *graph.CSR, source uint32, tr *trace.Tracer) ([]int3
 	// engine is a thin wrapper that keeps its span name.
 	pool := backend.NewPool(0)
 	defer pool.Close()
+	pool.SetTracer(tr)
 	tv := backend.NewTraversal(pool, backend.FromCSR(g), "native.bfs.level", tr)
 	return dist, tv.Run(dist, source)
 }

@@ -93,6 +93,7 @@ func (e *Engine) pageRankBackend(in *graph.CSR, outDeg []int64, opt core.PageRan
 	n := len(pr)
 	pool := backend.NewPool(0)
 	defer pool.Close()
+	pool.SetTracer(tr)
 	mul := backend.NewSumVecMul(pool, backend.FromCSR(in)).WithTracer(tr)
 	contrib := make([]float64, n)
 	contribPass := backend.NewDense(pool, n, func(lo, hi int) {

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Mux builds the observability HTTP handler: Prometheus text at /metrics,
+// expvar-style JSON at /metrics.json, and the full net/http/pprof suite
+// under /debug/pprof/. The registry is sampled per request, so the
+// endpoints always reflect live values.
+func Mux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, reg.Snapshot(), "graphmaze")
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = WriteJSON(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "graphmaze obs\n/metrics\n/metrics.json\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Server is a live obs listener started by Serve.
+type Server struct {
+	ln   net.Listener
+	done chan struct{}
+}
+
+// Serve starts the obs endpoint on addr (host:port; port 0 picks a free
+// one) and returns once the listener is bound, serving in the background.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, done: make(chan struct{})}
+	srv := &http.Server{Handler: Mux(reg)}
+	go func() {
+		defer close(s.done)
+		// Serve returns ErrServerClosed-style errors once the listener is
+		// closed by Close; there is nothing useful to do with them here.
+		_ = srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address ("" on a nil server).
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and waits for the serve loop to exit. In-flight
+// requests are abandoned; the obs endpoint is diagnostics, not data-plane.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	err := s.ln.Close()
+	<-s.done
+	return err
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Registry is the unified metrics surface: histograms and gauges it owns,
+// plus read-only int64 counter functions contributed by other packages
+// (the tracer registers its per-lane counters this way, so obs never
+// imports trace). Get-or-create accessors take the lock once per metric
+// lifetime; the returned handles are lock-free afterwards. A nil *Registry
+// is a valid disabled registry: accessors return nil handles whose methods
+// are themselves no-ops, so instrumented code needs no enabled/disabled
+// branches beyond the pointer checks already inside each call.
+type Registry struct {
+	mu       sync.Mutex
+	hists    map[string]*Histogram
+	gauges   map[string]*Gauge
+	counters map[string]func() int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		hists:    make(map[string]*Histogram),
+		gauges:   make(map[string]*Gauge),
+		counters: make(map[string]func() int64),
+	}
+}
+
+// Hist returns the named histogram, creating it with one lane per
+// GOMAXPROCS worker on first use. Returns nil on a nil registry.
+func (r *Registry) Hist(name string) *Histogram {
+	return r.HistLanes(name, runtime.GOMAXPROCS(0))
+}
+
+// HistLanes is Hist with an explicit worker-lane hint, for callers that
+// shard by something other than GOMAXPROCS (e.g. simulated cluster
+// nodes). The hint only applies on first creation.
+func (r *Registry) HistLanes(name string, workers int) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram(name, workers)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil on
+// a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// CounterFunc registers fn as the named read-only counter. Re-registering
+// a name replaces the function (last writer wins). No-op on a nil
+// registry or nil fn.
+func (r *Registry) CounterFunc(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] = fn
+	r.mu.Unlock()
+}
+
+// CounterPoint is one sampled counter value.
+type CounterPoint struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugePoint is one sampled gauge value.
+type GaugePoint struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Snapshot is a consistent-enough point-in-time copy of the registry,
+// with every section sorted by name so exposition is deterministic.
+type Snapshot struct {
+	Counters []CounterPoint `json:"counters,omitempty"`
+	Gauges   []GaugePoint   `json:"gauges,omitempty"`
+	Hists    []HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot samples every metric. Counter functions are called outside the
+// registry lock paths they belong to but inside r.mu, which is fine: they
+// are lock-free lane sums by construction. Returns nil on a nil registry.
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snapshot{}
+	for name, fn := range r.counters {
+		s.Counters = append(s.Counters, CounterPoint{Name: name, Value: fn()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugePoint{Name: name, Value: g.Value()})
+	}
+	for _, h := range r.hists {
+		s.Hists = append(s.Hists, h.Snapshot())
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Hists, func(i, j int) bool { return s.Hists[i].Name < s.Hists[j].Name })
+	return s
+}
+
+// HistSnapshots samples only the histograms, keyed by name — the shape
+// the harness diffs around each run. Returns nil on a nil registry.
+func (r *Registry) HistSnapshots() map[string]HistSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	hs := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hs = append(hs, h)
+	}
+	r.mu.Unlock()
+	out := make(map[string]HistSnapshot, len(hs))
+	for _, h := range hs {
+		out[h.name] = h.Snapshot()
+	}
+	return out
+}

@@ -65,7 +65,24 @@ func ForDynamicIndexed(n, grain int, body func(worker, lo, hi int)) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			if sc == nil {
+				for {
+					hi := int(next.Add(int64(grain)))
+					lo := hi - grain
+					if lo >= n {
+						return
+					}
+					if hi > n {
+						hi = n
+					}
+					body(w, lo, hi)
+				}
+			}
 			for {
+				// Claim latency: from asking the shared cursor for a chunk
+				// to entering the body. Under contention the Add's cache-line
+				// ping-pong shows up here and nowhere else.
+				claimStart := time.Now()
 				hi := int(next.Add(int64(grain)))
 				lo := hi - grain
 				if lo >= n {
@@ -74,11 +91,8 @@ func ForDynamicIndexed(n, grain int, body func(worker, lo, hi int)) {
 				if hi > n {
 					hi = n
 				}
-				if sc == nil {
-					body(w, lo, hi)
-					continue
-				}
 				start := time.Now()
+				sc.ClaimNS.Record(w, start.Sub(claimStart).Nanoseconds())
 				body(w, lo, hi)
 				observeChunk(sc, w, lo, hi, start)
 			}

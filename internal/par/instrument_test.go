@@ -1,6 +1,7 @@
 package par
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 
@@ -53,6 +54,32 @@ func TestSchedCountersObserveLoops(t *testing.T) {
 	}
 	if tr.Sched().BusyNS.Value() < 0 {
 		t.Error("negative busy time")
+	}
+}
+
+// TestDynamicClaimLatencyHistogram checks the dynamic loops feed the
+// chunk-claim latency histogram: one observation per claimed chunk when
+// the parallel path runs.
+func TestDynamicClaimLatencyHistogram(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("claim latency only recorded on the parallel path")
+	}
+	tr := trace.New()
+	SetSchedCounters(tr.Sched())
+	defer SetSchedCounters(nil)
+
+	before := tr.Sched().Chunks.Value()
+	var touched atomic.Int64
+	ForDynamicIndexed(1<<14, 256, func(w, lo, hi int) {
+		touched.Add(int64(hi - lo))
+	})
+	chunks := tr.Sched().Chunks.Value() - before
+	hs := tr.Registry().HistSnapshots()["par.claim_ns"]
+	if hs.Count != chunks {
+		t.Fatalf("claim hist has %d observations, want %d (one per chunk)", hs.Count, chunks)
+	}
+	if touched.Load() != 1<<14 {
+		t.Fatalf("loop touched %d items", touched.Load())
 	}
 }
 

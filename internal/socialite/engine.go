@@ -236,6 +236,7 @@ func (e *Engine) BFS(g *graph.CSR, opt core.BFSOptions) (*core.BFSResult, error)
 		// preconditions re-runs on the generic evaluator, permanently.
 		low, lowered := LowerBFSRule(rule)
 		if lowered {
+			low.SetTracer(opt.Exec.Tracer())
 			defer low.Close()
 		}
 		for len(delta) > 0 {

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"graphmaze/internal/backend"
+	"graphmaze/internal/trace"
 )
 
 // This file lowers the BFS-shaped recursive rule onto the shared SpMV
@@ -195,3 +196,7 @@ func (l *RuleLowering) Round(delta []uint32) ([]uint32, bool) {
 
 // Close releases the backend pool.
 func (l *RuleLowering) Close() { l.pool.Close() }
+
+// SetTracer attaches tr's metrics registry to the lowering's backend pool
+// so dispatch/park latency and utilization are observable; nil detaches.
+func (l *RuleLowering) SetTracer(tr *trace.Tracer) { l.pool.SetTracer(tr) }

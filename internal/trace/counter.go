@@ -3,6 +3,8 @@ package trace
 import (
 	"runtime"
 	"sync/atomic"
+
+	"graphmaze/internal/obs"
 )
 
 // paddedInt64 keeps each worker's lane on its own cache line so concurrent
@@ -47,8 +49,12 @@ func (c *Counter) Name() string {
 }
 
 // Add accumulates delta into worker's lane. Worker ids beyond the lane
-// count wrap; correctness never depends on lane placement, only the
-// padding's freedom from false sharing does.
+// count wrap by the power-of-two mask — worker w and worker w+laneCount
+// share a lane and their Adds interleave atomically on the same word.
+// Correctness never depends on lane placement (Value sums every lane, so
+// it always equals the sum of all deltas; TestCounterAliasedWorkersExact
+// pins this under -race); only the scaling benefit of private lanes
+// degrades when callers alias.
 func (c *Counter) Add(worker int, delta int64) {
 	if c == nil {
 		return
@@ -102,6 +108,10 @@ func (t *Tracer) counterLocked(name string) *Counter {
 	c := newCounter(name)
 	t.counters[name] = c
 	t.order = append(t.order, name)
+	// Mirror the counter into the unified registry so exposition sees it
+	// alongside gauges and histograms; Value is a lock-free lane sum, safe
+	// to call from any sampler.
+	t.reg.CounterFunc(name, c.Value)
 	return c
 }
 
@@ -116,6 +126,11 @@ type SchedCounters struct {
 	Items *Counter
 	// BusyNS counts nanoseconds spent inside loop bodies.
 	BusyNS *Counter
+	// ClaimNS is the chunk-claim latency histogram ("par.claim_ns"): the
+	// nanoseconds a dynamic-scheduling worker spends between asking the
+	// shared cursor for a chunk and entering the body. Its tail is the
+	// direct cost of cursor contention under skew.
+	ClaimNS *obs.Histogram
 }
 
 // Sched returns the tracer's scheduling counter bundle ("par.chunks",
@@ -129,9 +144,10 @@ func (t *Tracer) Sched() *SchedCounters {
 	defer t.mu.Unlock()
 	if t.sched == nil {
 		t.sched = &SchedCounters{
-			Chunks: t.counterLocked("par.chunks"),
-			Items:  t.counterLocked("par.items"),
-			BusyNS: t.counterLocked("par.busy_ns"),
+			Chunks:  t.counterLocked("par.chunks"),
+			Items:   t.counterLocked("par.items"),
+			BusyNS:  t.counterLocked("par.busy_ns"),
+			ClaimNS: t.reg.Hist("par.claim_ns"),
 		}
 	}
 	return t.sched

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"graphmaze/internal/metrics"
+	"graphmaze/internal/obs"
 )
 
 // PhaseStat aggregates every span sharing one category: how many there
@@ -41,6 +42,11 @@ type Summary struct {
 	// SchedImbalance is max/mean busy time across par workers (0 when the
 	// scheduling counters were not attached).
 	SchedImbalance float64 `json:"sched_imbalance"`
+	// Histograms carries the quantile summary (count, mean, p50/p90/p99/
+	// p999, max — nanoseconds) of every registry histogram that recorded
+	// anything: the per-category span-duration histograms plus whatever the
+	// instrumented subsystems fed in.
+	Histograms []obs.NamedQuantiles `json:"histograms,omitempty"`
 }
 
 // Summarize digests the tracer's spans and counters. Nil on the disabled
@@ -101,6 +107,7 @@ func Summarize(t *Tracer) *Summary {
 		s.Counters = append(s.Counters, snap)
 	}
 	s.SchedImbalance = sched.Imbalance()
+	s.Histograms = obs.HistStats(t.reg.Snapshot())
 	return s
 }
 

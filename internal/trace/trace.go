@@ -23,6 +23,8 @@ package trace
 import (
 	"sync"
 	"time"
+
+	"graphmaze/internal/obs"
 )
 
 // Track identities. Chrome trace events group by process id: real-time
@@ -65,6 +67,15 @@ type Tracer struct {
 	counters map[string]*Counter
 	order    []string
 	sched    *SchedCounters
+
+	// reg is the unified metrics registry: every trace counter is mirrored
+	// into it as a counter func, span durations feed per-category latency
+	// histograms, and instrumented subsystems (backend pool, cluster,
+	// sampler) hang their own histograms and gauges off it. durHists caches
+	// the per-category "<cat>.dur_ns" histogram so Span.End resolves it
+	// without a registry lock in the common case.
+	reg      *obs.Registry
+	durHists map[string]*obs.Histogram
 }
 
 // New returns an enabled tracer whose real-time clock starts now.
@@ -73,6 +84,8 @@ func New() *Tracer {
 		t0:       time.Now(),
 		procs:    make(map[int]string),
 		counters: make(map[string]*Counter),
+		reg:      obs.NewRegistry(),
+		durHists: make(map[string]*obs.Histogram),
 	}
 	t.procs[PidHost] = "host (real time)"
 	t.procs[PidEngine] = "engine phases (virtual time)"
@@ -81,6 +94,36 @@ func New() *Tracer {
 
 // Enabled reports whether the tracer records anything.
 func (t *Tracer) Enabled() bool { return t != nil }
+
+// Registry returns the tracer's unified metrics registry, nil on the
+// disabled tracer — and a nil *obs.Registry is itself the disabled
+// registry, so callers chain unconditionally.
+func (t *Tracer) Registry() *obs.Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Hist returns the named histogram from the tracer's registry, nil (the
+// disabled histogram) on the disabled tracer.
+func (t *Tracer) Hist(name string) *obs.Histogram {
+	if t == nil {
+		return nil
+	}
+	return t.reg.Hist(name)
+}
+
+// durHist returns the cached "<cat>.dur_ns" histogram that accumulates
+// span durations for the category. Called with t.mu held.
+func (t *Tracer) durHistLocked(cat string) *obs.Histogram {
+	h, ok := t.durHists[cat]
+	if !ok {
+		h = t.reg.Hist(cat + ".dur_ns")
+		t.durHists[cat] = h
+	}
+	return h
+}
 
 // nowNS is the tracer's real-time clock: nanoseconds since New.
 func (t *Tracer) nowNS() int64 { return time.Since(t.t0).Nanoseconds() }
@@ -148,7 +191,11 @@ func (s *Span) End() {
 	s.t = nil
 	t.mu.Lock()
 	t.events = append(t.events, ev)
+	h := t.durHistLocked(s.cat)
 	t.mu.Unlock()
+	// Every ended span also lands in the category's latency histogram, so
+	// p50/p99 per engine phase falls out of existing instrumentation.
+	h.Record(s.tid, ev.DurNS)
 }
 
 // RecordVirtual records a completed span on a virtual-time track at an
@@ -168,7 +215,12 @@ func (t *Tracer) RecordVirtual(pid int, cat, name string, startSec, durSec float
 	}
 	t.mu.Lock()
 	t.events = append(t.events, ev)
+	h := t.durHistLocked(cat)
 	t.mu.Unlock()
+	// Virtual spans (engine phases, per-node cluster work) feed the same
+	// per-category histograms as real-time spans; the lane is the track's
+	// pid so simulated nodes do not contend on one lane.
+	h.Record(pid, ev.DurNS)
 }
 
 // Events returns a snapshot of the recorded spans.
