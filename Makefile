@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint lint-baseline lint-selfcheck fmt all bench-par bench-backend bench-diff trace-demo fault-demo obs-demo
+.PHONY: build test race lint lint-baseline lint-selfcheck fmt all bench-par bench-backend bench-diff bench-stream bench-stream-diff trace-demo fault-demo obs-demo
 
 all: fmt lint build test
 
@@ -53,6 +53,22 @@ bench-par:
 bench-backend:
 	$(GO) test -run '^$$' -bench 'BenchmarkBackend' -benchmem \
 		./internal/backend | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_backend.json
+
+# bench-stream runs the epoch-stream benchmarks: delta batch ingestion
+# (dedup-sort + merge-build of the next epoch's CSR), snapshot
+# encode/decode framing, and the incremental kernel refreshes (warm
+# PageRank, BFS repair, CC repair) with each iteration ingesting one
+# delta batch — the steady state of serving queries on a growing graph.
+bench-stream:
+	$(GO) test -run '^$$' -bench 'BenchmarkStream' -benchmem \
+		./internal/graph ./internal/native | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_stream.json
+
+# bench-stream-diff compares a fresh bench-stream run against the
+# checked-in BENCH_stream.json, same thresholds as bench-diff.
+bench-stream-diff:
+	$(GO) test -run '^$$' -bench 'BenchmarkStream' -benchmem \
+		./internal/graph ./internal/native | $(GO) run ./cmd/benchjson > BENCH_stream.new.json
+	$(GO) run ./cmd/benchjson -diff -threshold 1.25 -quantile-threshold 2.0 BENCH_stream.json BENCH_stream.new.json
 
 # bench-diff compares a fresh bench-par run against the checked-in
 # BENCH_par.json and fails on a >1.25x ns/op or allocs/op regression

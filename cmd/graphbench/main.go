@@ -38,6 +38,7 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON report on stdout (tables move to stderr)")
 		faults   = flag.String("faults", "", "fault plan for the faulttol experiment, e.g. 'crash@6:n1,degrade@0-3x4' or 'seed@42:c2'")
 		ckptIv   = flag.Int("ckpt-interval", 0, "checkpoint interval in phases for faulttol recovery runs (0 = default)")
+		deltas   = flag.Int("deltas", 0, "delta batches for the stream experiment (0 = default)")
 		obsAddr  = flag.String("obs", "", "serve live metrics (Prometheus text, JSON, pprof) on this address, e.g. :8080")
 		obsWait  = flag.Duration("obs-linger", 0, "keep the -obs listener alive this long after the run (for scraping a finished run)")
 		obsIv    = flag.Duration("obs-sample", obs.DefaultSampleInterval, "runtime-stats sampling interval for the -obs registry")
@@ -59,7 +60,7 @@ func main() {
 	}
 
 	opt := harness.Options{Out: os.Stdout, Scale: *scale, Iterations: *iters, Quick: *quick,
-		Faults: *faults, CkptInterval: *ckptIv}
+		Faults: *faults, CkptInterval: *ckptIv, Deltas: *deltas}
 	if *jsonOut {
 		// JSON owns stdout so pipelines stay parseable; tables go to stderr.
 		opt.Out = os.Stderr

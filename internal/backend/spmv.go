@@ -31,6 +31,7 @@ type VecMul[A, X, Y any] struct {
 	m      *Matrix
 	vals   []A // nil for pattern matrices (A's zero value is passed to Mul)
 	sr     Semiring[A, X, Y]
+	splits splitCache
 	bounds []int
 	nnz    *trace.Counter
 
@@ -44,13 +45,19 @@ type VecMul[A, X, Y any] struct {
 // NewVecMul builds a reusable kernel for y = m ⊕.⊗ x on the given pool.
 // vals may be nil for pattern matrices.
 func NewVecMul[A, X, Y any](pool *Pool, m *Matrix, vals []A, sr Semiring[A, X, Y]) *VecMul[A, X, Y] {
-	return &VecMul[A, X, Y]{
-		pool:   pool,
-		m:      m,
-		vals:   vals,
-		sr:     sr,
-		bounds: par.OffsetSplits(m.Offsets, pool.Workers()),
-	}
+	k := &VecMul[A, X, Y]{pool: pool, m: m, vals: vals, sr: sr}
+	k.bounds = k.splits.get(m, pool.Workers())
+	return k
+}
+
+// Rebind points the kernel at a new epoch's matrix (vals may be nil for
+// pattern matrices). The cached edge-balanced row splits are reused when
+// the matrix carries the same nonzero epoch and recomputed otherwise, so
+// steady-state rebinding across epoch advances costs one O(k log V)
+// split per epoch, not per call.
+func (k *VecMul[A, X, Y]) Rebind(m *Matrix, vals []A) {
+	k.m, k.vals = m, vals
+	k.bounds = k.splits.get(m, k.pool.Workers())
 }
 
 // WithTracer attaches a backend.spmv.nnz counter recording nonzeros
@@ -104,6 +111,7 @@ func (k *VecMul[A, X, Y]) runChunk(worker, lo, hi int) {
 type SumVecMul struct {
 	pool   *Pool
 	m      *Matrix
+	splits splitCache
 	bounds []int
 	nnz    *trace.Counter
 
@@ -114,7 +122,16 @@ type SumVecMul struct {
 
 // NewSumVecMul builds the specialized kernel for the pattern matrix m.
 func NewSumVecMul(pool *Pool, m *Matrix) *SumVecMul {
-	return &SumVecMul{pool: pool, m: m, bounds: par.OffsetSplits(m.Offsets, pool.Workers())}
+	k := &SumVecMul{pool: pool, m: m}
+	k.bounds = k.splits.get(m, pool.Workers())
+	return k
+}
+
+// Rebind points the kernel at a new epoch's matrix, reusing the cached
+// row splits when the epoch is unchanged (see VecMul.Rebind).
+func (k *SumVecMul) Rebind(m *Matrix) {
+	k.m = m
+	k.bounds = k.splits.get(m, k.pool.Workers())
 }
 
 // WithTracer attaches a backend.spmv.nnz counter (nil tracer detaches).

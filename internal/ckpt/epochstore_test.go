@@ -1,0 +1,97 @@
+package ckpt
+
+import (
+	"testing"
+
+	"graphmaze/internal/graph"
+)
+
+func versionedFixture(t *testing.T) *graph.Versioned {
+	t.Helper()
+	b := graph.NewBuilder(5)
+	b.AddEdges([]graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}})
+	g, err := b.Build(graph.BuildOptions{Dedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := graph.NewVersioned(g, graph.DeltaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestEpochStoreRoundTrip(t *testing.T) {
+	v := versionedFixture(t)
+	store := NewEpochStore(Config{})
+
+	snap0 := v.Current()
+	bytes0, cost, err := store.Save(snap0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes0 <= 0 || cost <= 0 {
+		t.Fatalf("save must report size and cost: %d bytes, %g s", bytes0, cost)
+	}
+	snap1, _, _, err := v.ApplyDelta([]graph.Edge{{Src: 3, Dst: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := store.Save(snap1, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	if latest, ok := store.Latest(); !ok || latest != snap1.Epoch() {
+		t.Fatalf("latest = %d/%v, want %d", latest, ok, snap1.Epoch())
+	}
+	// Restoring an older epoch is the whole point of keying by epoch.
+	got, readCost, err := store.Load(snap0.Epoch(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readCost <= 0 {
+		t.Fatal("load must charge the cost model")
+	}
+	if got.Epoch() != snap0.Epoch() || got.NumEdges() != snap0.NumEdges() {
+		t.Fatalf("restored epoch %d with %d edges, want %d with %d",
+			got.Epoch(), got.NumEdges(), snap0.Epoch(), snap0.NumEdges())
+	}
+	a, b := snap0.CSR(), got.CSR()
+	for u := uint32(0); u < a.NumVertices; u++ {
+		an, bn := a.Neighbors(u), b.Neighbors(u)
+		if len(an) != len(bn) {
+			t.Fatalf("vertex %d degree %d, want %d", u, len(bn), len(an))
+		}
+		for i := range an {
+			if an[i] != bn[i] {
+				t.Fatalf("vertex %d adjacency diverges", u)
+			}
+		}
+	}
+
+	if _, _, err := store.Load(99, 4); err == nil {
+		t.Fatal("loading an unstored epoch must fail")
+	}
+}
+
+func TestEpochStoreStatsAndOverwrite(t *testing.T) {
+	v := versionedFixture(t)
+	store := NewEpochStore(Config{})
+	if _, ok := store.Latest(); ok {
+		t.Fatal("empty store must have no latest epoch")
+	}
+	n, _, err := store.Save(v.Current(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := store.Save(v.Current(), 1); err != nil {
+		t.Fatal(err)
+	}
+	bytes, writes := store.Stats()
+	if writes != 2 {
+		t.Fatalf("writes = %d, want 2", writes)
+	}
+	if bytes != n {
+		t.Fatalf("overwrite must not double stored bytes: %d, want %d", bytes, n)
+	}
+}

@@ -144,6 +144,29 @@ func Uint32s(data []byte) (vals []uint32, rest []byte, err error) {
 	return vals, data[4*n:], nil
 }
 
+// AppendInt64s appends a count-prefixed array of signed 64-bit values
+// (CSR offset arrays) as their two's-complement bit patterns.
+func AppendInt64s(dst []byte, vals []int64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(vals)))
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+	}
+	return dst
+}
+
+// Int64s reads an array written by AppendInt64s.
+func Int64s(data []byte) (vals []int64, rest []byte, err error) {
+	u, rest, err := Uint64s(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	vals = make([]int64, len(u))
+	for i, v := range u {
+		vals[i] = int64(v)
+	}
+	return vals, rest, nil
+}
+
 // AppendFloat64s appends a count-prefixed array of IEEE-754 doubles in
 // their exact bit patterns, so a round trip is bit-identical.
 func AppendFloat64s(dst []byte, vals []float64) []byte {

@@ -35,7 +35,10 @@ type BuildOptions struct {
 	SortAdjacency bool
 }
 
-// Builder accumulates raw edges and produces a cleaned CSR.
+// Builder accumulates raw edges and produces a cleaned CSR. A builder is
+// reusable: Build consumes the accumulated edges and resets the internal
+// buffer (on success and on error alike), so a subsequent AddEdge/Build
+// cycle starts from a clean slate.
 type Builder struct {
 	numVertices uint32
 	edges       []Edge
@@ -59,11 +62,18 @@ func (b *Builder) AddEdges(edges []Edge) {
 // NumRawEdges reports how many edges have been added so far.
 func (b *Builder) NumRawEdges() int { return len(b.edges) }
 
+// Reset discards any accumulated edges, returning the builder to its
+// freshly-constructed state without waiting for a Build.
+func (b *Builder) Reset() { b.edges = nil }
+
 // Build applies the requested transforms and constructs the CSR. The
-// builder's edge buffer is consumed: it is reordered in place and must not
-// be reused afterwards.
+// accumulated edges are consumed: whether Build succeeds or fails, the
+// builder's buffer is reset, so the builder itself is safe to reuse for
+// another AddEdge/Build cycle (the transforms reorder the old buffer in
+// place, so it is never handed back).
 func (b *Builder) Build(opt BuildOptions) (*CSR, error) {
 	edges := b.edges
+	b.edges = nil // consume: the transforms below mutate the buffer
 	for i := range edges {
 		if edges[i].Src >= b.numVertices || edges[i].Dst >= b.numVertices {
 			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", edges[i].Src, edges[i].Dst, b.numVertices)
@@ -133,7 +143,6 @@ func (b *Builder) Build(opt BuildOptions) (*CSR, error) {
 		// The dedup sort already ordered each adjacency list.
 		g.sortedAdj = true
 	}
-	b.edges = nil
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"fmt"
+
+	"graphmaze/internal/codec"
+)
+
+// Snapshot persistence (DESIGN.md §14). An epoch is encoded with the
+// checkpoint subsystem's record framing: one uvarint-version header
+// followed by the CSR's typed arrays in little-endian sections. Decoding
+// is hardened the same way checkpoint restores are — every length is
+// validated before allocation, and the rebuilt CSR is re-validated, so a
+// corrupt epoch surfaces as an error, never a panic. Weights are not
+// framed because versioned graphs are unweighted by construction.
+
+// snapshotCodecVersion guards the layout; bump on any framing change.
+const snapshotCodecVersion = 1
+
+// EncodeSnapshot appends the snapshot's framed representation to dst and
+// returns the extended slice. The encoding is deterministic: the same
+// epoch always produces the same bytes.
+func EncodeSnapshot(dst []byte, s *Snapshot) ([]byte, error) {
+	g := s.csr
+	if g.Weights != nil {
+		return nil, fmt.Errorf("graph: weighted snapshots are not encodable")
+	}
+	dst = codec.AppendUvarint(dst, snapshotCodecVersion)
+	dst = codec.AppendUint64(dst, uint64(s.epoch))
+	dst = codec.AppendUint32(dst, g.NumVertices)
+	dst = codec.AppendUint32(dst, g.targetSpace)
+	var flags uint64
+	if g.sortedAdj {
+		flags |= 1
+	}
+	dst = codec.AppendUvarint(dst, flags)
+	dst = codec.AppendInt64s(dst, g.Offsets)
+	dst = codec.AppendUint32s(dst, g.Targets)
+	return dst, nil
+}
+
+// DecodeSnapshot rebuilds a snapshot encoded by EncodeSnapshot and
+// returns it with the bytes following the frame. The rebuilt CSR owns
+// fresh arrays (a restored epoch is as immutable as a live one) and is
+// fully validated before being returned.
+func DecodeSnapshot(data []byte) (*Snapshot, []byte, error) {
+	version, data, err := codec.Uvarint(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if version != snapshotCodecVersion {
+		return nil, nil, fmt.Errorf("graph: snapshot codec version %d, want %d", version, snapshotCodecVersion)
+	}
+	epoch, data, err := codec.Uint64(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	numVertices, data, err := codec.Uint32(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	targetSpace, data, err := codec.Uint32(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	flags, data, err := codec.Uvarint(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	offsets, data, err := codec.Int64s(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	targets, rest, err := codec.Uint32s(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	g := &CSR{
+		NumVertices: numVertices,
+		Offsets:     offsets,
+		Targets:     targets,
+		targetSpace: targetSpace,
+		sortedAdj:   flags&1 != 0,
+	}
+	if err := g.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("graph: decoded snapshot invalid: %w", err)
+	}
+	return NewSnapshot(Epoch(epoch), g), rest, nil
+}

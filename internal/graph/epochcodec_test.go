@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	g := buildSorted(t, 6, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {5, 1}}, BuildOptions{})
+	v, err := NewVersioned(g, DeltaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _, _, err := v.ApplyDelta([]Edge{{1, 4}, {4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	blob, err := EncodeSnapshot(nil, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rest, err := DecodeSnapshot(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes after frame", len(rest))
+	}
+	if got.Epoch() != snap.Epoch() {
+		t.Fatalf("epoch %d, want %d", got.Epoch(), snap.Epoch())
+	}
+	a, b := snap.CSR(), got.CSR()
+	if a.NumVertices != b.NumVertices || a.TargetSpace() != b.TargetSpace() ||
+		a.SortedAdjacency() != b.SortedAdjacency() {
+		t.Fatal("graph shape not preserved")
+	}
+	for i := range a.Offsets {
+		if a.Offsets[i] != b.Offsets[i] {
+			t.Fatalf("offsets diverge at %d", i)
+		}
+	}
+	for i := range a.Targets {
+		if a.Targets[i] != b.Targets[i] {
+			t.Fatalf("targets diverge at %d", i)
+		}
+	}
+
+	// Deterministic encoding: re-encoding the decoded snapshot is
+	// bit-identical.
+	blob2, err := EncodeSnapshot(nil, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("re-encoding is not bit-identical")
+	}
+}
+
+func TestSnapshotCodecRejectsWeighted(t *testing.T) {
+	g, err := FromWeightedEdges(3, []WeightedEdge{{0, 1, 2.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EncodeSnapshot(nil, NewSnapshot(0, g)); err == nil {
+		t.Fatal("weighted snapshot must be rejected")
+	}
+}
+
+func TestSnapshotCodecCorruptInput(t *testing.T) {
+	g := buildSorted(t, 4, []Edge{{0, 1}, {1, 2}}, BuildOptions{})
+	blob, err := EncodeSnapshot(nil, NewSnapshot(3, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every truncation must error, never panic.
+	for cut := 0; cut < len(blob); cut++ {
+		if _, _, err := DecodeSnapshot(blob[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded", cut)
+		}
+	}
+	// A frame whose arrays decode but describe an invalid CSR must fail
+	// validation: point a target outside the vertex space.
+	bad := append([]byte(nil), blob...)
+	bad[len(bad)-1] = 0xEE
+	if _, _, err := DecodeSnapshot(bad); err == nil {
+		t.Fatal("out-of-range target decoded")
+	}
+	// Unknown version.
+	verBad := append([]byte{0x7F}, blob[1:]...)
+	if _, _, err := DecodeSnapshot(verBad); err == nil {
+		t.Fatal("unknown codec version decoded")
+	}
+}

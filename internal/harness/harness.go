@@ -58,6 +58,9 @@ type Options struct {
 	// CkptInterval overrides the checkpoint interval (in phases) for the
 	// fault-tolerance experiment's recovery runs; 0 picks the default.
 	CkptInterval int
+	// Deltas is the number of delta batches the stream experiment ingests;
+	// 0 picks the default.
+	Deltas int
 
 	// rec collects RunRecords when Run wants a machine-readable report.
 	rec *[]RunRecord
@@ -117,6 +120,7 @@ func Experiments() []Experiment {
 		{ID: "giraphfix", Title: "§6.2: Giraph roadmap (combiners + more workers)", Run: GiraphRoadmap},
 		{ID: "sgdgd", Title: "§3.2: SGD vs GD convergence", Run: SGDvsGD},
 		{ID: "faulttol", Title: "DESIGN.md §10: checkpoint overhead & recovery cost", Run: FaultTolerance},
+		{ID: "stream", Title: "DESIGN.md §14: epoch deltas — update latency vs staleness", Run: Stream},
 	}
 }
 

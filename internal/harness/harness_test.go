@@ -21,7 +21,7 @@ func runQuick(t *testing.T, id string) string {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 14 {
+	if len(exps) != 15 {
 		t.Fatalf("registry has %d experiments", len(exps))
 	}
 	seen := map[string]bool{}
@@ -154,6 +154,28 @@ func TestFaultTolQuick(t *testing.T) {
 	}
 	if !strings.Contains(out, "identical") {
 		t.Errorf("no run verified against the fault-free baseline:\n%s", out)
+	}
+}
+
+func TestStreamQuick(t *testing.T) {
+	out := runQuick(t, "stream")
+	for _, frag := range []string{"epoch stream", "Ingest", "Stale inc", "Stale full", "epoch persistence"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("stream output missing %q:\n%s", frag, out)
+		}
+	}
+	// Conformance is checked inside the experiment: any divergence between
+	// an incremental refresh and the full recompute shows in the table.
+	if strings.Contains(out, "DIFFERS") || strings.Contains(out, "MISMATCH") {
+		t.Errorf("incremental refresh diverged from full recompute:\n%s", out)
+	}
+	// A custom batch count must be honored.
+	var buf bytes.Buffer
+	if err := Run("stream", Options{Out: &buf, Quick: true, Deltas: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2 batches") {
+		t.Errorf("-deltas override ignored:\n%s", buf.String())
 	}
 }
 

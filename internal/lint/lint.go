@@ -3,8 +3,9 @@
 // generic Go toolchain cannot check: no mixed atomic/plain access, no
 // fire-and-forget goroutines in engine code, no panics in library paths,
 // no silent 64-bit → 32-bit index truncation, no trace spans dropped by a
-// missed End(), no discarded checkpoint/restore errors, and doc comments on
-// every exported engine API. On top of the per-node checks, a small
+// missed End(), no discarded checkpoint/restore errors, no epoch snapshots
+// retained in long-lived engine state, and doc comments on every exported
+// engine API. On top of the per-node checks, a small
 // dataflow layer (cfg.go, dataflow.go, callgraph.go) powers three deeper
 // rule families: det (nondeterminism: map-order leaks, wall clock and
 // global rand in kernels and codecs, float accumulation order), lock
@@ -81,6 +82,7 @@ func DefaultRules() []Rule {
 		&ObsRule{},
 		&PanicRule{},
 		&ScratchRule{},
+		&SnapshotRule{},
 		&SpanRule{},
 		&TruncateRule{},
 		&DocRule{},

@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// snapshotTypePath is the package whose Snapshot type the rule guards.
+const snapshotTypePath = "graphmaze/internal/graph"
+
+// SnapshotRule flags engine code that retains a graph.Snapshot in
+// long-lived state: a struct field, a package-level variable, or an
+// assignment that smuggles one into a field of a looser type (any, a
+// map value, a slice element reached through a field). A snapshot is a
+// per-operation handle — engines re-fetch via Versioned.Current at the
+// top of every operation so staleness is a choice the call site makes,
+// not an accident of whichever epoch happened to be live when a struct
+// was built. Locals, parameters, and return values are fine: they die
+// with the operation.
+type SnapshotRule struct{}
+
+// Name implements Rule.
+func (*SnapshotRule) Name() string { return "snapshot" }
+
+// Doc implements Rule.
+func (*SnapshotRule) Doc() string {
+	return "engine state must not retain a graph.Snapshot across epoch advances; re-fetch via Versioned.Current per operation"
+}
+
+// Check implements Rule.
+func (r *SnapshotRule) Check(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	if !isEngine(p.Rel) {
+		return
+	}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				r.checkGenDecl(p, d, report)
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					r.checkStores(p, d.Body, report)
+				}
+			}
+		}
+	}
+}
+
+// checkGenDecl reports snapshot-typed struct fields and package-level
+// variables.
+func (r *SnapshotRule) checkGenDecl(p *Package, d *ast.GenDecl, report func(pos token.Pos, format string, args ...any)) {
+	switch d.Tok {
+	case token.TYPE:
+		for _, spec := range d.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				continue
+			}
+			for _, field := range st.Fields.List {
+				if t := p.Info.TypeOf(field.Type); t != nil && holdsSnapshot(t) {
+					report(field.Pos(), "struct field retains a graph.Snapshot across epoch advances; hold per-operation locals and re-fetch via Versioned.Current instead")
+				}
+			}
+		}
+	case token.VAR:
+		for _, spec := range d.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				obj := p.Info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if holdsSnapshot(obj.Type()) {
+					report(name.Pos(), "package-level variable retains a graph.Snapshot; snapshots are per-operation handles")
+				}
+			}
+		}
+	}
+}
+
+// checkStores reports assignments that store a snapshot-typed value
+// through a selector or index expression — the escape hatch a loosely
+// typed field (any, map, slice) would otherwise leave open.
+func (r *SnapshotRule) checkStores(p *Package, body *ast.BlockStmt, report func(pos token.Pos, format string, args ...any)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			switch ast.Unparen(lhs).(type) {
+			case *ast.SelectorExpr, *ast.IndexExpr:
+			default:
+				continue // plain locals are per-operation state
+			}
+			if t := p.Info.TypeOf(as.Rhs[i]); t != nil && holdsSnapshot(t) {
+				report(as.Pos(), "assignment stores a graph.Snapshot into long-lived state; pass the snapshot down the call instead of retaining it")
+			}
+		}
+		return true
+	})
+}
+
+// holdsSnapshot reports whether t is, points to, or contains (through
+// slices, arrays, maps, or channels) the graph.Snapshot type. Structs
+// are not recursed into: their fields are checked where they are
+// declared, and a non-engine struct embedding a snapshot is that
+// package's design to make.
+func holdsSnapshot(t types.Type) bool {
+	seen := make(map[types.Type]bool)
+	var walk func(t types.Type) bool
+	walk = func(t types.Type) bool {
+		if t == nil || seen[t] {
+			return false
+		}
+		seen[t] = true
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Name() == "Snapshot" && obj.Pkg() != nil && obj.Pkg().Path() == snapshotTypePath {
+				return true
+			}
+			return walk(named.Underlying())
+		}
+		switch u := t.(type) {
+		case *types.Pointer:
+			return walk(u.Elem())
+		case *types.Slice:
+			return walk(u.Elem())
+		case *types.Array:
+			return walk(u.Elem())
+		case *types.Chan:
+			return walk(u.Elem())
+		case *types.Map:
+			return walk(u.Key()) || walk(u.Elem())
+		}
+		return false
+	}
+	return walk(t)
+}

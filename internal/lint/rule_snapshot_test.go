@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// fixtureGraphSrc is a stand-in for graphmaze/internal/graph with the
+// types the snapshot rule matches on: the rule keys off the import path
+// and the Snapshot type name, so fixtures do not need the real package.
+const fixtureGraphSrc = `// Package graph is the fixture graph layer.
+package graph
+
+// Snapshot is one immutable epoch.
+type Snapshot struct{ epoch uint64 }
+
+// Epoch reports the snapshot's version.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Versioned publishes snapshots.
+type Versioned struct{ cur *Snapshot }
+
+// Current returns the latest snapshot.
+func (v *Versioned) Current() *Snapshot { return v.cur }
+`
+
+// loadFixtureWithGraph type-checks an in-memory package like loadFixture,
+// additionally making the fixture graph package importable as
+// "graphmaze/internal/graph".
+func loadFixtureWithGraph(t *testing.T, rel string, files map[string]string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	base := importer.ForCompiler(fset, "source", nil)
+
+	graphFile, err := parser.ParseFile(fset, "internal/graph/graph.go", fixtureGraphSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphConf := types.Config{Importer: base}
+	graphPkg, err := graphConf.Check(snapshotTypePath, fset, []*ast.File{graphFile}, nil)
+	if err != nil {
+		t.Fatalf("type-check fixture graph: %v", err)
+	}
+
+	var parsed []*ast.File
+	for name, src := range files {
+		f, err := parser.ParseFile(fset, rel+"/"+name, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		parsed = append(parsed, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: &prebuiltImporter{base: base, pkgs: map[string]*types.Package{
+		snapshotTypePath: graphPkg,
+	}}}
+	path := "graphmaze/" + rel
+	tpkg, err := conf.Check(path, fset, parsed, info)
+	if err != nil {
+		t.Fatalf("type-check fixture: %v", err)
+	}
+	return &Package{Rel: rel, Path: path, Fset: fset, Files: parsed, Types: tpkg, Info: info}
+}
+
+func TestSnapshotRuleFlagsStructField(t *testing.T) {
+	p := loadFixtureWithGraph(t, "internal/native", map[string]string{"a.go": `package native
+
+import "graphmaze/internal/graph"
+
+type kernel struct {
+	snap *graph.Snapshot
+}
+`})
+	wantFinding(t, runRule(t, p, &SnapshotRule{}), "internal/native/a.go", 6, "snapshot")
+}
+
+func TestSnapshotRuleFlagsContainerField(t *testing.T) {
+	p := loadFixtureWithGraph(t, "internal/backend", map[string]string{"a.go": `package backend
+
+import "graphmaze/internal/graph"
+
+type cache struct {
+	byEpoch map[uint64]*graph.Snapshot
+}
+`})
+	wantFinding(t, runRule(t, p, &SnapshotRule{}), "internal/backend/a.go", 6, "snapshot")
+}
+
+func TestSnapshotRuleFlagsPackageVar(t *testing.T) {
+	p := loadFixtureWithGraph(t, "internal/native", map[string]string{"a.go": `package native
+
+import "graphmaze/internal/graph"
+
+var latest *graph.Snapshot
+`})
+	wantFinding(t, runRule(t, p, &SnapshotRule{}), "internal/native/a.go", 5, "snapshot")
+}
+
+func TestSnapshotRuleFlagsStoreIntoAnyField(t *testing.T) {
+	p := loadFixtureWithGraph(t, "internal/native", map[string]string{"a.go": `package native
+
+import "graphmaze/internal/graph"
+
+type kernel struct {
+	state any
+}
+
+func (k *kernel) Prime(v *graph.Versioned) {
+	k.state = v.Current()
+}
+`})
+	wantFinding(t, runRule(t, p, &SnapshotRule{}), "internal/native/a.go", 10, "snapshot")
+}
+
+func TestSnapshotRuleAcceptsPerOperationUse(t *testing.T) {
+	p := loadFixtureWithGraph(t, "internal/native", map[string]string{"a.go": `package native
+
+import "graphmaze/internal/graph"
+
+type kernel struct {
+	epoch uint64
+	ranks []float64
+}
+
+// Refresh holds the snapshot only for the duration of the call.
+func (k *kernel) Refresh(v *graph.Versioned) []float64 {
+	s := v.Current()
+	k.epoch = s.Epoch()
+	return k.ranks
+}
+
+func spawn(s *graph.Snapshot) (*graph.Snapshot, error) {
+	local := s
+	return local, nil
+}
+`})
+	if got := runRule(t, p, &SnapshotRule{}); len(got) != 0 {
+		t.Fatalf("per-operation snapshot use must not be flagged: %v", got)
+	}
+}
+
+func TestSnapshotRuleIgnoresNonEnginePackages(t *testing.T) {
+	p := loadFixtureWithGraph(t, "internal/harness", map[string]string{"a.go": `package harness
+
+import "graphmaze/internal/graph"
+
+type replay struct {
+	snaps []*graph.Snapshot
+}
+`})
+	if got := runRule(t, p, &SnapshotRule{}); len(got) != 0 {
+		t.Fatalf("non-engine packages are out of scope: %v", got)
+	}
+}

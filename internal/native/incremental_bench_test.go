@@ -1,0 +1,142 @@
+package native
+
+// Incremental-kernel benchmarks (the `make bench-stream` set): each
+// iteration ingests one delta batch and refreshes a kernel, the steady
+// state of a system serving queries on a growing graph.
+
+import (
+	"testing"
+
+	"graphmaze/internal/gen"
+	"graphmaze/internal/graph"
+)
+
+type streamBench struct {
+	base    *graph.CSR
+	deltas  []graph.Edge
+	batch   int
+	batches int
+	v       *graph.Versioned
+}
+
+func newStreamBench(b *testing.B, scale int) *streamBench {
+	b.Helper()
+	edges, err := gen.RMAT(gen.Graph500Config(scale, 16, 97))
+	if err != nil {
+		b.Fatal(err)
+	}
+	bld := graph.NewBuilder(uint32(1) << scale)
+	bld.AddEdges(edges)
+	base, err := bld.Build(graph.BuildOptions{Orientation: graph.Symmetrize, Dedup: true,
+		DropSelfLoops: true, SortAdjacency: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	deltas, err := gen.RMAT(gen.Graph500Config(scale, 2, 98))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := &streamBench{base: base, deltas: deltas, batch: 2048}
+	s.batches = len(deltas) / s.batch
+	if s.batches == 0 {
+		b.Fatal("delta stream too small")
+	}
+	return s
+}
+
+// next ingests batch i (cycling over the stream; a new pass restarts the
+// versioned graph from the base epoch) and returns the new snapshot with
+// the epoch's cleaned added edges.
+func (s *streamBench) next(b *testing.B, i int, reset func()) (*graph.Snapshot, []graph.Edge) {
+	b.Helper()
+	k := i % s.batches
+	if k == 0 {
+		b.StopTimer()
+		var err error
+		if s.v, err = graph.NewVersioned(s.base, graph.DeltaOptions{Symmetrize: true, DropSelfLoops: true}); err != nil {
+			b.Fatal(err)
+		}
+		reset()
+		b.StartTimer()
+	}
+	snap, added, _, err := s.v.ApplyDelta(s.deltas[k*s.batch : (k+1)*s.batch])
+	if err != nil {
+		b.Fatal(err)
+	}
+	return snap, added
+}
+
+// BenchmarkStreamPageRankRefresh measures ingest + warm-started PageRank
+// per delta batch (transpose rebuild + delta-localized sweeps).
+func BenchmarkStreamPageRankRefresh(b *testing.B) {
+	s := newStreamBench(b, 12)
+	var pr *IncrementalPageRank
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, _ := s.next(b, i, func() {
+			if pr != nil {
+				pr.Close()
+			}
+			pr = NewIncrementalPageRank(IncrementalPROptions{Tolerance: 1e-9})
+			if _, _, err := pr.Update(s.v.Current()); err != nil {
+				b.Fatal(err)
+			}
+		})
+		if _, _, err := pr.Update(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	pr.Close()
+}
+
+// BenchmarkStreamBFSRepair measures ingest + BFS distance repair per
+// delta batch.
+func BenchmarkStreamBFSRepair(b *testing.B) {
+	s := newStreamBench(b, 12)
+	var bfs *IncrementalBFS
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, added := s.next(b, i, func() {
+			if bfs != nil {
+				bfs.Close()
+			}
+			bfs = NewIncrementalBFS(0)
+			if _, err := bfs.Update(s.v.Current(), nil); err != nil {
+				b.Fatal(err)
+			}
+		})
+		if _, err := bfs.Update(snap, added); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	bfs.Close()
+}
+
+// BenchmarkStreamCCRepair measures ingest + component-label repair per
+// delta batch.
+func BenchmarkStreamCCRepair(b *testing.B) {
+	s := newStreamBench(b, 12)
+	var cc *IncrementalCC
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, added := s.next(b, i, func() {
+			if cc != nil {
+				cc.Close()
+			}
+			cc = NewIncrementalCC()
+			if _, err := cc.Update(s.v.Current(), nil); err != nil {
+				b.Fatal(err)
+			}
+		})
+		if _, err := cc.Update(snap, added); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	cc.Close()
+}
