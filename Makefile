@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint lint-baseline lint-selfcheck fmt all bench-par bench-backend bench-diff bench-stream bench-stream-diff trace-demo fault-demo obs-demo
+.PHONY: build test race lint lint-baseline lint-selfcheck fmt all bench-par bench-backend bench-diff bench-stream bench-stream-diff bench-serve bench-serve-diff trace-demo fault-demo obs-demo serve-demo
 
 all: fmt lint build test
 
@@ -70,6 +70,21 @@ bench-stream-diff:
 		./internal/graph ./internal/native | $(GO) run ./cmd/benchjson > BENCH_stream.new.json
 	$(GO) run ./cmd/benchjson -diff -threshold 1.25 -quantile-threshold 2.0 BENCH_stream.json BENCH_stream.new.json
 
+# bench-serve runs the serving-layer benchmarks: the full service path on
+# a cache hit, a cache-bypass miss, a PageRank recompute miss, the
+# admission fast path alone and under tenant contention, and the raw
+# result cache, writing BENCH_serve.json.
+bench-serve:
+	$(GO) test -run '^$$' -bench 'BenchmarkServe|BenchmarkAdmission|BenchmarkResultCache' -benchmem \
+		./internal/serve | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_serve.json
+
+# bench-serve-diff compares a fresh bench-serve run against the
+# checked-in BENCH_serve.json, same thresholds as bench-diff.
+bench-serve-diff:
+	$(GO) test -run '^$$' -bench 'BenchmarkServe|BenchmarkAdmission|BenchmarkResultCache' -benchmem \
+		./internal/serve | $(GO) run ./cmd/benchjson > BENCH_serve.new.json
+	$(GO) run ./cmd/benchjson -diff -threshold 1.25 -quantile-threshold 2.0 BENCH_serve.json BENCH_serve.new.json
+
 # bench-diff compares a fresh bench-par run against the checked-in
 # BENCH_par.json and fails on a >1.25x ns/op or allocs/op regression
 # (>2x for the pN-ns/op latency quantiles, which are noisier).
@@ -110,6 +125,28 @@ obs-demo:
 	curl -sf http://$(OBS_DEMO_ADDR)/debug/pprof/heap -o obs-demo.heap; \
 	[ -s obs-demo.heap ] || { echo "obs-demo: empty heap profile"; exit 1; }; \
 	echo "obs-demo: scraped $$(grep -c '^graphmaze_' obs-demo.metrics) series + heap profile from http://$(OBS_DEMO_ADDR)/"
+
+# serve-demo smoke-tests the always-on query service end to end: start
+# graphserve on small built-in graphs, wait for /healthz, drive it for
+# 2 seconds with the Zipf-skewed multi-tenant loadgen (including
+# mutation batches so epochs advance under load), require non-zero
+# throughput, then SIGINT the server and require a clean shutdown.
+SERVE_DEMO_ADDR ?= 127.0.0.1:8322
+serve-demo:
+	@set -e; \
+	$(GO) build -o graphserve.demo ./cmd/graphserve; \
+	./graphserve.demo -addr $(SERVE_DEMO_ADDR) -scale 10 > serve-demo.log 2>&1 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true; rm -f graphserve.demo' EXIT; \
+	ok=""; for i in $$(seq 1 300); do \
+		if curl -sf http://$(SERVE_DEMO_ADDR)/healthz >/dev/null 2>&1; then ok=1; break; fi; \
+		sleep 0.2; \
+	done; \
+	[ -n "$$ok" ] || { echo "serve-demo: server never became healthy"; cat serve-demo.log; exit 1; }; \
+	./graphserve.demo -loadgen -url http://$(SERVE_DEMO_ADDR) -duration 2s \
+		-delta-every 250ms -min-qps 1 | tee serve-demo.loadgen; \
+	kill -INT $$pid; wait $$pid || true; \
+	grep -q 'clean shutdown' serve-demo.log || { echo "serve-demo: no clean shutdown"; cat serve-demo.log; exit 1; }; \
+	echo "serve-demo: ok"
 
 # fault-demo runs the fault-tolerance experiment with an injected crash
 # and checkpointing: the tables show checkpoint overhead vs interval and

@@ -1,0 +1,239 @@
+// Command graphserve is the always-on multi-tenant graph query service:
+// it loads graphs into epoch-versioned snapshots once and serves
+// PageRank / BFS / connected-components / triangle-count / Datalog
+// queries over HTTP while /delta keeps ingesting edge batches.
+//
+// Usage:
+//
+//	graphserve -addr :8090 -scale 12                 # serve two RMAT graphs
+//	graphserve -addr :8090 -snapshot-dir /tmp/snaps  # persist epochs on shutdown
+//	graphserve -addr :8090 -snapshot-dir /tmp/snaps -warm-start
+//	graphserve -loadgen -url http://127.0.0.1:8090 -duration 2s
+//
+// Query examples once serving:
+//
+//	curl 'http://127.0.0.1:8090/query/pagerank?graph=social&iters=10&k=3'
+//	curl 'http://127.0.0.1:8090/query/bfs?graph=web&source=0' -H 'X-Tenant: alice'
+//	curl -X POST http://127.0.0.1:8090/delta -d '{"graph":"social","edges":[[1,2],[3,4]]}'
+//	curl http://127.0.0.1:8090/metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"graphmaze/internal/gen"
+	"graphmaze/internal/graph"
+	"graphmaze/internal/obs"
+	"graphmaze/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8090", "listen address (host:port; port 0 picks a free one)")
+		scale     = flag.Int("scale", 12, "RMAT scale of the built-in graphs (2^scale vertices)")
+		edgef     = flag.Int("edgefactor", 8, "RMAT edge factor (edges per vertex)")
+		seed      = flag.Int64("seed", 42, "RMAT seed")
+		workers   = flag.Int("workers", 0, "kernel pool workers (0 = GOMAXPROCS)")
+		inflight  = flag.Int("max-inflight", 0, "max concurrently executing queries (0 = 2x workers)")
+		queue     = flag.Int("queue-depth", 64, "admission queue depth; beyond it requests shed with 429")
+		cacheN    = flag.Int("cache-entries", 512, "result cache capacity (entries)")
+		snapDir   = flag.String("snapshot-dir", "", "directory for persisted epoch snapshots (saved on clean shutdown)")
+		warmStart = flag.Bool("warm-start", false, "resume graphs from -snapshot-dir instead of rebuilding from edge lists")
+
+		loadgen  = flag.Bool("loadgen", false, "run as load generator against -url instead of serving")
+		url      = flag.String("url", "http://127.0.0.1:8090", "loadgen: server base URL")
+		duration = flag.Duration("duration", 2*time.Second, "loadgen: run length")
+		requests = flag.Int64("requests", 0, "loadgen: stop after this many requests instead of -duration")
+		tenants  = flag.Int("tenants", 8, "loadgen: simulated tenant population (Zipf-skewed)")
+		conc     = flag.Int("concurrency", 8, "loadgen: client goroutines")
+		deltaIv  = flag.Duration("delta-every", 0, "loadgen: post a mutation batch at this cadence (0 = none)")
+		minQPS   = flag.Float64("min-qps", 0, "loadgen: exit nonzero if measured QPS falls below this")
+	)
+	flag.Parse()
+
+	if *loadgen {
+		os.Exit(runLoadgen(*url, *duration, *requests, *tenants, *conc, *deltaIv, *minQPS))
+	}
+	os.Exit(runServe(serveOpts{
+		addr: *addr, scale: *scale, edgef: *edgef, seed: *seed,
+		workers: *workers, inflight: *inflight, queue: *queue, cacheN: *cacheN,
+		snapDir: *snapDir, warmStart: *warmStart,
+	}))
+}
+
+type serveOpts struct {
+	addr                             string
+	scale, edgef                     int
+	seed                             int64
+	workers, inflight, queue, cacheN int
+	snapDir                          string
+	warmStart                        bool
+}
+
+// builtinGraphs describes the two graphs the server always hosts: a
+// symmetrized "social" graph (supports triangle counting) and a directed
+// "web" graph, both Graph500 RMAT.
+var builtinGraphs = []struct {
+	name      string
+	symmetric bool
+}{
+	{"social", true},
+	{"web", false},
+}
+
+func runServe(o serveOpts) int {
+	reg := obs.NewRegistry()
+	sampler := obs.StartSampler(reg, obs.DefaultSampleInterval)
+	defer sampler.Stop()
+
+	srv := serve.New(serve.Config{
+		Workers:      o.workers,
+		MaxInFlight:  o.inflight,
+		QueueDepth:   o.queue,
+		CacheEntries: o.cacheN,
+		Registry:     reg,
+	})
+	defer srv.Close()
+
+	for _, bg := range builtinGraphs {
+		v, how, err := loadGraph(o, bg.name, bg.symmetric)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "graphserve: loading %s: %v\n", bg.name, err)
+			return 1
+		}
+		if err := srv.AddGraph(bg.name, v); err != nil {
+			fmt.Fprintf(os.Stderr, "graphserve: %v\n", err)
+			return 1
+		}
+		snap := v.Current()
+		fmt.Printf("graph %-8s %8d vertices %10d edges  epoch %d  (%s)\n",
+			bg.name, snap.NumVertices(), snap.CSR().NumEdges(), snap.Epoch(), how)
+	}
+
+	ln, err := obs.ServeHandler(o.addr, srv.Handler())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "graphserve: listen %s: %v\n", o.addr, err)
+		return 1
+	}
+	fmt.Printf("serving on http://%s (metrics at /metrics, queries at /query/<kind>)\n", ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down...")
+	if err := ln.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "graphserve: closing listener: %v\n", err)
+		return 1
+	}
+	if o.snapDir != "" {
+		if err := saveSnapshots(srv, o.snapDir); err != nil {
+			fmt.Fprintf(os.Stderr, "graphserve: %v\n", err)
+			return 1
+		}
+	}
+	fmt.Println("clean shutdown")
+	return 0
+}
+
+// loadGraph warm-starts the named graph from its persisted snapshot when
+// asked (and available), else builds it from a fresh RMAT edge list.
+func loadGraph(o serveOpts, name string, symmetric bool) (*graph.Versioned, string, error) {
+	opts := graph.DeltaOptions{Symmetrize: symmetric, DropSelfLoops: true}
+	if o.warmStart {
+		if o.snapDir == "" {
+			return nil, "", fmt.Errorf("-warm-start needs -snapshot-dir")
+		}
+		path := snapshotPath(o.snapDir, name)
+		v, err := serve.WarmStart(path, opts)
+		if err != nil {
+			return nil, "", fmt.Errorf("warm start from %s: %w", path, err)
+		}
+		return v, "warm start: " + path, nil
+	}
+	edges, err := gen.RMAT(gen.Graph500Config(o.scale, o.edgef, o.seed+int64(len(name))))
+	if err != nil {
+		return nil, "", err
+	}
+	orientation := graph.KeepDirection
+	if symmetric {
+		orientation = graph.Symmetrize
+	}
+	b := graph.NewBuilder(uint32(1) << uint(o.scale))
+	b.AddEdges(edges)
+	csr, err := b.Build(graph.BuildOptions{
+		Orientation:   orientation,
+		Dedup:         true,
+		DropSelfLoops: true,
+		SortAdjacency: true,
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	v, err := graph.NewVersioned(csr, opts)
+	if err != nil {
+		return nil, "", err
+	}
+	return v, fmt.Sprintf("built from RMAT scale %d", o.scale), nil
+}
+
+func snapshotPath(dir, name string) string {
+	return filepath.Join(dir, name+".snap")
+}
+
+// saveSnapshots persists every graph's current epoch for a later
+// -warm-start.
+func saveSnapshots(srv *serve.Server, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, bg := range builtinGraphs {
+		v, ok := srv.Graph(bg.name)
+		if !ok {
+			continue
+		}
+		snap := v.Current()
+		path := snapshotPath(dir, bg.name)
+		if err := serve.SaveSnapshotFile(path, snap); err != nil {
+			return fmt.Errorf("saving %s: %w", path, err)
+		}
+		fmt.Printf("saved %s epoch %d to %s\n", bg.name, snap.Epoch(), path)
+	}
+	return nil
+}
+
+func runLoadgen(url string, duration time.Duration, requests int64, tenants, conc int, deltaIv time.Duration, minQPS float64) int {
+	targets := make([]serve.GraphTarget, len(builtinGraphs))
+	for i, bg := range builtinGraphs {
+		targets[i] = serve.GraphTarget{Name: bg.name, Symmetric: bg.symmetric}
+	}
+	rep, err := serve.RunLoad(context.Background(), serve.LoadConfig{
+		BaseURL:       url,
+		Graphs:        targets,
+		Tenants:       tenants,
+		Concurrency:   conc,
+		Duration:      duration,
+		Requests:      requests,
+		DeltaInterval: deltaIv,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "graphserve: loadgen: %v\n", err)
+		return 1
+	}
+	rep.Format(os.Stdout)
+	if rep.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "graphserve: loadgen saw %d errors\n", rep.Errors)
+		return 1
+	}
+	if minQPS > 0 && rep.QPS < minQPS {
+		fmt.Fprintf(os.Stderr, "graphserve: measured %.0f qps, below -min-qps %.0f\n", rep.QPS, minQPS)
+		return 1
+	}
+	return 0
+}

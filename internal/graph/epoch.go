@@ -103,21 +103,48 @@ type Versioned struct {
 // merge per vertex; ownership of the CSR passes to the versioned graph.
 // Weighted graphs are not yet supported on the delta path.
 func NewVersioned(base *CSR, opts DeltaOptions) (*Versioned, error) {
-	if base == nil {
-		return nil, errors.New("graph: versioned graph needs a base CSR")
-	}
-	if base.Weighted() {
-		return nil, errors.New("graph: versioned graphs do not support weighted CSRs yet")
-	}
-	if base.targetSpace != base.NumVertices {
-		return nil, errors.New("graph: versioned graphs must be square (no bipartite orientations)")
-	}
-	if !base.SortedAdjacency() {
-		return nil, errors.New("graph: versioned base CSR must have sorted adjacency (build with Dedup or SortAdjacency)")
+	if err := checkVersionedBase(base); err != nil {
+		return nil, err
 	}
 	v := &Versioned{opts: opts}
 	v.cur.Store(NewSnapshot(0, base))
 	return v, nil
+}
+
+// ResumeVersioned re-creates a versioned graph whose current snapshot is s
+// — typically one decoded from persistence (graph.DecodeSnapshot or
+// ckpt.EpochStore) — preserving its epoch number so later deltas continue
+// the original sequence instead of restarting at zero. The snapshot's CSR
+// must satisfy the same contract as NewVersioned's base; ownership passes
+// to the versioned graph.
+func ResumeVersioned(s *Snapshot, opts DeltaOptions) (*Versioned, error) {
+	if s == nil {
+		return nil, errors.New("graph: resuming a versioned graph needs a snapshot")
+	}
+	if err := checkVersionedBase(s.csr); err != nil {
+		return nil, err
+	}
+	v := &Versioned{opts: opts}
+	v.cur.Store(s)
+	return v, nil
+}
+
+// checkVersionedBase validates the delta-path contract for a CSR entering
+// a versioned graph (at epoch 0 or on resume).
+func checkVersionedBase(base *CSR) error {
+	if base == nil {
+		return errors.New("graph: versioned graph needs a base CSR")
+	}
+	if base.Weighted() {
+		return errors.New("graph: versioned graphs do not support weighted CSRs yet")
+	}
+	if base.targetSpace != base.NumVertices {
+		return errors.New("graph: versioned graphs must be square (no bipartite orientations)")
+	}
+	if !base.SortedAdjacency() {
+		return errors.New("graph: versioned base CSR must have sorted adjacency (build with Dedup or SortAdjacency)")
+	}
+	return nil
 }
 
 // Current returns the latest snapshot: one atomic load, safe to call
@@ -126,6 +153,12 @@ func (v *Versioned) Current() *Snapshot { return v.cur.Load() }
 
 // Epoch reports the latest epoch number.
 func (v *Versioned) Epoch() Epoch { return v.cur.Load().epoch }
+
+// Options reports the graph's delta-ingestion options (how raw delta
+// edges are oriented), letting a service decide per-graph which queries
+// make sense — triangle counting, for example, needs the symmetrized
+// orientation.
+func (v *Versioned) Options() DeltaOptions { return v.opts }
 
 // ApplyDelta ingests a batch of raw edge insertions and publishes the next
 // epoch. The delta is copied (the caller's slice is untouched), oriented

@@ -77,6 +77,7 @@ func DefaultRules() []Rule {
 		&CkptRule{},
 		&DetRule{},
 		&GoroutineRule{},
+		&HandlerRule{},
 		&HotAllocRule{},
 		&LockRule{},
 		&ObsRule{},

@@ -1,0 +1,227 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HandlerRule guards the serving layer's cancellation discipline. An HTTP
+// handler in internal/serve that launches a kernel — anything that
+// dispatches onto the shared backend pool — runs work whose cost is
+// orders of magnitude above request parsing. If the handler never reads
+// r.Context(), a disconnected client cannot be noticed anywhere: the
+// admission queue keeps the abandoned request, the pool computes a result
+// nobody will read, and under load-shed conditions that is exactly the
+// work the service cannot afford. The rule flags handler-shaped functions
+// (two parameters: http.ResponseWriter, *http.Request) in internal/serve
+// that reach a kernel package (internal/backend, internal/native,
+// internal/socialite, internal/par) through same-package calls without
+// ever calling Context on their request parameter or handing the request
+// to a helper.
+type HandlerRule struct{}
+
+// Name implements Rule.
+func (r *HandlerRule) Name() string { return "handler" }
+
+// Doc implements Rule.
+func (r *HandlerRule) Doc() string {
+	return "serve HTTP handlers that launch kernels must honor r.Context() cancellation"
+}
+
+// kernelPackage reports whether path names a package whose calls count as
+// launching kernel work.
+func kernelPackage(path string) bool {
+	for _, suffix := range []string{
+		"internal/backend",
+		"internal/native",
+		"internal/socialite",
+		"internal/par",
+	} {
+		if strings.HasSuffix(path, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// Check implements Rule.
+func (r *HandlerRule) Check(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	if p.Rel != "internal/serve" {
+		return
+	}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			reqObj, ok := handlerRequestParam(p, fn)
+			if !ok {
+				continue
+			}
+			kernelPos := r.findKernelCall(p, fn, make(map[*types.Func]bool))
+			if !kernelPos.IsValid() {
+				continue
+			}
+			if honorsRequestContext(p, fn.Body, reqObj) {
+				continue
+			}
+			report(fn.Pos(), "handler %s launches kernel work (line %d) but never reads its request context; call r.Context() so a disconnected client cancels instead of computing",
+				fn.Name.Name, p.Fset.Position(kernelPos).Line)
+		}
+	}
+}
+
+// handlerRequestParam reports whether fn has the HTTP handler shape —
+// exactly (http.ResponseWriter, *http.Request) parameters and no results
+// — and returns the request parameter's object (nil for an unnamed
+// parameter, which still counts as handler-shaped).
+func handlerRequestParam(p *Package, fn *ast.FuncDecl) (types.Object, bool) {
+	params := fn.Type.Params
+	if params == nil || fn.Type.Results != nil {
+		return nil, false
+	}
+	var idents []*ast.Ident
+	var fields []*ast.Field
+	for _, f := range params.List {
+		if len(f.Names) == 0 {
+			fields = append(fields, f)
+			idents = append(idents, nil)
+			continue
+		}
+		for _, name := range f.Names {
+			fields = append(fields, f)
+			idents = append(idents, name)
+		}
+	}
+	if len(fields) != 2 {
+		return nil, false
+	}
+	if !isNetHTTPType(p.Info.TypeOf(fields[0].Type), "ResponseWriter", false) {
+		return nil, false
+	}
+	if !isNetHTTPType(p.Info.TypeOf(fields[1].Type), "Request", true) {
+		return nil, false
+	}
+	if idents[1] == nil || idents[1].Name == "_" {
+		return nil, true
+	}
+	return p.Info.Defs[idents[1]], true
+}
+
+// isNetHTTPType reports whether t is net/http's named type (optionally
+// behind one pointer).
+func isNetHTTPType(t types.Type, name string, wantPtr bool) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		if !wantPtr {
+			return false
+		}
+		t = ptr.Elem()
+	} else if wantPtr {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "net/http")
+}
+
+// findKernelCall returns the first position where fn (or a same-package
+// function it statically calls, transitively) calls into a kernel
+// package, or token.NoPos.
+func (r *HandlerRule) findKernelCall(p *Package, fn *ast.FuncDecl, visited map[*types.Func]bool) token.Pos {
+	if obj, ok := p.Info.Defs[fn.Name].(*types.Func); ok {
+		if visited[obj] {
+			return token.NoPos
+		}
+		visited[obj] = true
+	}
+	found := token.NoPos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found.IsValid() {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(p, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		if kernelPackage(callee.Pkg().Path()) {
+			found = call.Pos()
+			return false
+		}
+		if callee.Pkg() == p.Types {
+			if decl := declOf(p, callee); decl != nil {
+				if pos := r.findKernelCall(p, decl, visited); pos.IsValid() {
+					found = pos
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// declOf finds the declaration of a same-package function.
+func declOf(p *Package, fn *types.Func) *ast.FuncDecl {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			d, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if p.Info.Defs[d.Name] == fn && d.Body != nil {
+				return d
+			}
+		}
+	}
+	return nil
+}
+
+// honorsRequestContext reports whether body calls Context on the request
+// parameter (ctx := r.Context(), r.Context().Err(), ...) or hands the
+// request object onward to another function, delegating the decision.
+func honorsRequestContext(p *Package, body *ast.BlockStmt, req types.Object) bool {
+	if req == nil {
+		return false
+	}
+	honored := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if honored {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Context" {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && p.Info.Uses[id] == req {
+				honored = true
+				return false
+			}
+		}
+		// Passing r (or one of its fields, like r.Body) to a helper
+		// delegates cancellation; only a bare kernel launch with the
+		// request ignored is a sure miss.
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && p.Info.Uses[id] == req {
+				honored = true
+				return false
+			}
+		}
+		return true
+	})
+	return honored
+}

@@ -7,12 +7,15 @@ import (
 	"net/http/pprof"
 )
 
-// Mux builds the observability HTTP handler: Prometheus text at /metrics,
-// expvar-style JSON at /metrics.json, and the full net/http/pprof suite
-// under /debug/pprof/. The registry is sampled per request, so the
-// endpoints always reflect live values.
-func Mux(reg *Registry) *http.ServeMux {
-	mux := http.NewServeMux()
+// MuxOn registers the observability endpoints on an existing mux:
+// Prometheus text at /metrics, expvar-style JSON at /metrics.json, and
+// the full net/http/pprof suite under /debug/pprof/. The registry is
+// sampled per request, so the endpoints always reflect live values.
+// Servers with their own routes (graphserve) call this to mount the
+// diagnostics on their mux and port instead of spawning a second
+// listener; MuxOn deliberately leaves "/" alone so the host mux keeps
+// its own index.
+func MuxOn(mux *http.ServeMux, reg *Registry) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = WritePrometheus(w, reg.Snapshot(), "graphmaze")
@@ -26,6 +29,13 @@ func Mux(reg *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Mux builds the standalone observability HTTP handler: MuxOn's
+// endpoints plus a plain-text index at "/".
+func Mux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	MuxOn(mux, reg)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -45,12 +55,19 @@ type Server struct {
 // Serve starts the obs endpoint on addr (host:port; port 0 picks a free
 // one) and returns once the listener is bound, serving in the background.
 func Serve(addr string, reg *Registry) (*Server, error) {
+	return ServeHandler(addr, Mux(reg))
+}
+
+// ServeHandler is Serve with a caller-supplied handler: it binds addr and
+// serves h in the background. Servers that mount the obs endpoints on
+// their own mux (via MuxOn) use this to keep everything on one port.
+func ServeHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{ln: ln, done: make(chan struct{})}
-	srv := &http.Server{Handler: Mux(reg)}
+	srv := &http.Server{Handler: h}
 	go func() {
 		defer close(s.done)
 		// Serve returns ErrServerClosed-style errors once the listener is

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"graphmaze/internal/graph"
+)
+
+// cacheKey builds the result-cache key: the epoch is part of the key, so
+// a delta invalidates every cached result of the graph simply by moving
+// queries to a new key — stale entries age out of the LRU, they are never
+// flushed. The fingerprint is the canonical (parsed, defaulted,
+// re-serialized) query, so two spellings of the same query share an
+// entry.
+func cacheKey(graphName string, epoch graph.Epoch, fingerprint string) string {
+	return fmt.Sprintf("%s@%d|%s", graphName, epoch, fingerprint)
+}
+
+// resultCache is a mutex-guarded LRU over fully serialized response
+// bodies. Caching bytes (not results) is what makes the hit path
+// byte-identical to recomputation by construction: the body was produced
+// by exactly one marshal of a deterministic kernel's output.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List // front = most recent
+	entries map[string]*list.Element
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// cacheEntry is one cached response body.
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+func newResultCache(maxEntries int) *resultCache {
+	return &resultCache{
+		max:     maxEntries,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached body for key, counting a hit or miss.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put stores body under key, evicting the least recently used entry when
+// full. Storing an existing key refreshes its body (the bytes are
+// identical for a deterministic kernel, so this is a recency bump).
+func (c *resultCache) put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).body = body
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the current entry count.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

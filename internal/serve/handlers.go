@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"graphmaze/internal/graph"
+)
+
+// tenantOf extracts the requesting tenant: the X-Tenant header, the
+// tenant query parameter, or "default".
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	if t := r.URL.Query().Get("tenant"); t != "" {
+		return t
+	}
+	return "default"
+}
+
+// writeJSON sends a JSON body with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	body, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	body = append(body, '\n')
+	_, _ = w.Write(body)
+}
+
+// writeError sends a JSON error body.
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleQuery is the full request pipeline: parse and canonicalize, admit
+// under the tenant's fair share, pin the graph's current epoch, probe the
+// result cache, compute on the shared pool on a miss, fill the cache,
+// respond. The request context is honored at every wait point: a client
+// that disconnects while queued gives its queue slot back, and a
+// cancelled request is never charged as computed.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	s.requests.Add(1)
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "query endpoints are GET")
+		return
+	}
+	q, err := s.parseQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	g, ok := s.graphByName(q.graph)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown graph %q (have %v)", q.graph, s.graphNames())
+		return
+	}
+
+	// Admission: the only place a request waits. The context carries the
+	// client disconnect, so an abandoned request leaves the queue.
+	start := time.Now()
+	if err := s.adm.Acquire(ctx, tenantOf(r)); err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "overloaded, retry later")
+			return
+		}
+		// Client gave up while queued.
+		writeError(w, http.StatusServiceUnavailable, "cancelled while queued: %v", err)
+		return
+	}
+	defer s.adm.Release()
+	if ctx.Err() != nil {
+		return
+	}
+
+	// Epoch pin: one atomic load. Everything below sees this snapshot even
+	// if deltas advance the graph mid-query.
+	snap := g.v.Current()
+	key := cacheKey(g.name, snap.Epoch(), q.fingerprint())
+	bypass := strings.Contains(r.Header.Get("Cache-Control"), "no-cache")
+	if !bypass {
+		if body, ok := s.cache.get(key); ok {
+			s.recordQuery(q.kind, time.Since(start))
+			w.Header().Set("X-Cache", "hit")
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			_, _ = w.Write(body)
+			return
+		}
+	}
+
+	body, err := s.execute(g, snap, q)
+	if err != nil {
+		var bad *badRequestError
+		if errors.As(err, &bad) {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	state := "miss"
+	if bypass {
+		state = "bypass"
+	} else {
+		s.cache.put(key, body)
+	}
+	s.recordQuery(q.kind, time.Since(start))
+	w.Header().Set("X-Cache", state)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_, _ = w.Write(body)
+}
+
+// recordQuery records one served query's latency, overall and per kind.
+func (s *Server) recordQuery(kind string, d time.Duration) {
+	lane := s.nextLane()
+	s.reg.Hist("serve.query_ns").Record(lane, d.Nanoseconds())
+	s.reg.Hist("serve.query."+kind+"_ns").Record(lane, d.Nanoseconds())
+}
+
+// deltaRequest is the /delta ingestion body.
+type deltaRequest struct {
+	Graph string      `json:"graph"`
+	Edges [][2]uint32 `json:"edges"`
+}
+
+// deltaResponse reports the published epoch and ingestion stats.
+type deltaResponse struct {
+	Graph       string `json:"graph"`
+	Epoch       uint64 `json:"epoch"`
+	Added       int64  `json:"added"`
+	Duplicates  int64  `json:"duplicates"`
+	SelfLoops   int64  `json:"self_loops"`
+	NewVertices uint32 `json:"new_vertices"`
+}
+
+// handleDelta ingests a batch of edge insertions: POST {"graph": ...,
+// "edges": [[src,dst],...]}. Ingestion holds only the graph's writer
+// mutex — queries pinned to older epochs keep running unblocked, and the
+// new epoch is persisted into the graph's epoch store before the response
+// confirms it.
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "/delta is POST")
+		return
+	}
+	var req deltaRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad delta body: %v", err)
+		return
+	}
+	g, ok := s.graphByName(req.Graph)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown graph %q (have %v)", req.Graph, s.graphNames())
+		return
+	}
+	if len(req.Edges) == 0 {
+		writeError(w, http.StatusBadRequest, "empty delta")
+		return
+	}
+	if ctx.Err() != nil {
+		return
+	}
+	delta := make([]graph.Edge, len(req.Edges))
+	for i, e := range req.Edges {
+		delta[i] = graph.Edge{Src: e[0], Dst: e[1]}
+	}
+	snap, _, stats, err := g.v.ApplyDelta(delta)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "applying delta: %v", err)
+		return
+	}
+	if _, _, err := g.store.Save(snap, 1); err != nil {
+		writeError(w, http.StatusInternalServerError, "persisting epoch %d: %v", snap.Epoch(), err)
+		return
+	}
+	s.deltas.Add(1)
+	s.reg.Gauge("serve.graph." + g.name + ".epoch").Set(float64(snap.Epoch()))
+	writeJSON(w, http.StatusOK, deltaResponse{
+		Graph:       g.name,
+		Epoch:       uint64(snap.Epoch()),
+		Added:       stats.Added,
+		Duplicates:  stats.Duplicates,
+		SelfLoops:   stats.SelfLoops,
+		NewVertices: stats.NewVertices,
+	})
+}
+
+// graphInfo is one entry in the /graphs listing.
+type graphInfo struct {
+	Name            string `json:"name"`
+	Epoch           uint64 `json:"epoch"`
+	Vertices        uint32 `json:"vertices"`
+	Edges           int64  `json:"edges"`
+	Symmetrized     bool   `json:"symmetrized"`
+	PersistedBytes  int64  `json:"persisted_bytes"`
+	PersistedEpochs int    `json:"persisted_epochs"`
+}
+
+// handleGraphs lists the registered graphs with their live epoch and
+// persistence accounting.
+func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	if r.Context().Err() != nil {
+		return
+	}
+	infos := make([]graphInfo, 0)
+	for _, name := range s.graphNames() {
+		g, ok := s.graphByName(name)
+		if !ok {
+			continue
+		}
+		snap := g.v.Current()
+		bytes, writes := g.store.Stats()
+		infos = append(infos, graphInfo{
+			Name:            name,
+			Epoch:           uint64(snap.Epoch()),
+			Vertices:        snap.NumVertices(),
+			Edges:           snap.CSR().NumEdges(),
+			Symmetrized:     g.v.Options().Symmetrize,
+			PersistedBytes:  bytes,
+			PersistedEpochs: writes,
+		})
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+// handleHealthz is the liveness probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Context().Err() != nil {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, "ok\n")
+}
+
+// handleIndex is the plain-text endpoint directory at "/".
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	if r.Context().Err() != nil {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, "graphserve\n")
+	for _, k := range queryKinds() {
+		fmt.Fprintf(w, "/query/%s?graph=<name>\n", k)
+	}
+	fmt.Fprint(w, "/delta (POST)\n/graphs\n/healthz\n/metrics\n/metrics.json\n/debug/pprof/\n")
+}

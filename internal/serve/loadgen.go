@@ -1,0 +1,356 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// GraphTarget names one graph the load generator queries. Symmetric
+// graphs additionally receive triangle-count queries.
+type GraphTarget struct {
+	Name      string
+	Symmetric bool
+}
+
+// LoadConfig shapes a load-generation run against a live server.
+type LoadConfig struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Graphs lists the query targets (required).
+	Graphs []GraphTarget
+	// Tenants is the simulated tenant population (default 8). Tenant
+	// selection is Zipf-skewed, so tenant-0 dominates — the workload the
+	// fair queue exists for.
+	Tenants int
+	// Concurrency is the number of client goroutines (default 8).
+	Concurrency int
+	// Duration bounds the run in wall-clock time (default 2s) unless
+	// Requests is set.
+	Duration time.Duration
+	// Requests, when > 0, bounds the run by request count instead.
+	Requests int64
+	// Seed makes runs reproducible (default 1).
+	Seed int64
+	// DeltaInterval, when > 0, posts a small random delta to the first
+	// graph at this cadence, so the run exercises epoch advance (cache
+	// invalidation + re-warm) under live queries.
+	DeltaInterval time.Duration
+	// DeltaEdges sizes each mutation batch (default 64).
+	DeltaEdges int
+	// Client overrides the HTTP client (default http.DefaultClient).
+	Client *http.Client
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Tenants <= 0 {
+		c.Tenants = 8
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.DeltaEdges <= 0 {
+		c.DeltaEdges = 64
+	}
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+	return c
+}
+
+// LoadReport is what a load-generation run measured.
+type LoadReport struct {
+	Duration time.Duration
+	Requests int64
+	Errors   int64
+	Shed     int64
+	Hits     int64
+	Misses   int64
+	Deltas   int64
+
+	QPS float64
+	P50 time.Duration
+	P99 time.Duration
+
+	// PerKind breaks latency down by query kind (completed 2xx only).
+	PerKind map[string]KindReport
+}
+
+// KindReport is one query kind's latency summary.
+type KindReport struct {
+	Count int64
+	P50   time.Duration
+	P99   time.Duration
+}
+
+// HitRate is the cache hit fraction of completed queries.
+func (r *LoadReport) HitRate() float64 {
+	total := r.Hits + r.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(total)
+}
+
+// ShedRate is the load-shed fraction of all issued requests.
+func (r *LoadReport) ShedRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(r.Requests)
+}
+
+// Format renders the report as an aligned table.
+func (r *LoadReport) Format(w io.Writer) {
+	fmt.Fprintf(w, "loadgen: %d requests in %.2fs (%.0f qps)\n", r.Requests, r.Duration.Seconds(), r.QPS)
+	fmt.Fprintf(w, "  latency    p50 %-12s p99 %s\n", r.P50, r.P99)
+	fmt.Fprintf(w, "  cache      %d hits / %d misses (%.1f%% hit rate)\n", r.Hits, r.Misses, 100*r.HitRate())
+	fmt.Fprintf(w, "  shed       %d (%.1f%% of requests)\n", r.Shed, 100*r.ShedRate())
+	fmt.Fprintf(w, "  errors     %d\n", r.Errors)
+	if r.Deltas > 0 {
+		fmt.Fprintf(w, "  deltas     %d applied during run\n", r.Deltas)
+	}
+	kinds := make([]string, 0, len(r.PerKind))
+	for k := range r.PerKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		kr := r.PerKind[k]
+		fmt.Fprintf(w, "  %-10s %6d queries, p50 %-12s p99 %s\n", k, kr.Count, kr.P50, kr.P99)
+	}
+}
+
+// loadTarget is one concrete pre-built query URL.
+type loadTarget struct {
+	kind string
+	url  string
+}
+
+// buildTargets expands the graph list into the query catalog the
+// generator samples from. The catalog is finite by design: repeated
+// sampling is what produces cache hits.
+func buildTargets(cfg LoadConfig) []loadTarget {
+	var ts []loadTarget
+	for _, g := range cfg.Graphs {
+		for _, iters := range []int{5, 10, 20} {
+			ts = append(ts, loadTarget{kindPageRank,
+				fmt.Sprintf("%s/query/pagerank?graph=%s&iters=%d&k=5", cfg.BaseURL, g.Name, iters)})
+		}
+		for src := 0; src < 4; src++ {
+			ts = append(ts, loadTarget{kindBFS,
+				fmt.Sprintf("%s/query/bfs?graph=%s&source=%d", cfg.BaseURL, g.Name, src)})
+		}
+		ts = append(ts, loadTarget{kindCC, fmt.Sprintf("%s/query/cc?graph=%s", cfg.BaseURL, g.Name)})
+		if g.Symmetric {
+			ts = append(ts, loadTarget{kindTC, fmt.Sprintf("%s/query/tc?graph=%s", cfg.BaseURL, g.Name)})
+		}
+		ts = append(ts, loadTarget{kindDatalog,
+			fmt.Sprintf("%s/query/datalog?graph=%s&source=0", cfg.BaseURL, g.Name)})
+	}
+	return ts
+}
+
+// clientStats is one generator goroutine's private tallies (merged after
+// the run; no shared state on the hot path).
+type clientStats struct {
+	requests int64
+	errors   int64
+	shed     int64
+	hits     int64
+	misses   int64
+	samples  map[string][]time.Duration
+}
+
+// RunLoad drives the server with a Zipf-skewed multi-tenant request mix
+// until the duration elapses, the request cap is reached, or ctx is
+// cancelled, and reports client-observed latency, throughput, cache hit
+// rate, and shed rate.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BaseURL == "" || len(cfg.Graphs) == 0 {
+		return nil, fmt.Errorf("serve: loadgen needs a base URL and at least one graph")
+	}
+	targets := buildTargets(cfg)
+
+	runCtx := ctx
+	var cancel context.CancelFunc
+	if cfg.Requests <= 0 {
+		runCtx, cancel = context.WithTimeout(ctx, cfg.Duration)
+	} else {
+		runCtx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+
+	var issued atomic.Int64
+	var deltas atomic.Int64
+
+	// Optional mutator: keeps epochs advancing while queries run.
+	var mutWG sync.WaitGroup
+	if cfg.DeltaInterval > 0 {
+		mutWG.Add(1)
+		go func() {
+			defer mutWG.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
+			tick := time.NewTicker(cfg.DeltaInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-tick.C:
+					if postDelta(runCtx, cfg, rng) == nil {
+						deltas.Add(1)
+					}
+				}
+			}
+		}()
+	}
+
+	stats := make([]*clientStats, cfg.Concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.Concurrency; i++ {
+		st := &clientStats{samples: make(map[string][]time.Duration)}
+		stats[i] = st
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(worker)*7919))
+			// Zipf skew over both axes: a heavy-hitter tenant and a
+			// heavy-hitter query mix, per the multi-tenant serving story.
+			tenantZipf := rand.NewZipf(rng, 1.3, 1, uint64(cfg.Tenants-1))
+			targetZipf := rand.NewZipf(rng, 1.2, 1, uint64(len(targets)-1))
+			for runCtx.Err() == nil {
+				if cfg.Requests > 0 && issued.Add(1) > cfg.Requests {
+					return
+				}
+				tgt := targets[targetZipf.Uint64()]
+				tenant := fmt.Sprintf("tenant-%d", tenantZipf.Uint64())
+				st.requests++
+				t0 := time.Now()
+				code, cacheState, err := doQuery(runCtx, cfg.Client, tgt.url, tenant)
+				lat := time.Since(t0)
+				switch {
+				case err != nil:
+					if runCtx.Err() != nil {
+						return
+					}
+					st.errors++
+				case code == http.StatusTooManyRequests:
+					st.shed++
+				case code != http.StatusOK:
+					st.errors++
+				default:
+					st.samples[tgt.kind] = append(st.samples[tgt.kind], lat)
+					switch cacheState {
+					case "hit":
+						st.hits++
+					default:
+						st.misses++
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	cancel()
+	mutWG.Wait()
+	elapsed := time.Since(start)
+
+	rep := &LoadReport{Duration: elapsed, Deltas: deltas.Load(), PerKind: make(map[string]KindReport)}
+	var all []time.Duration
+	perKind := make(map[string][]time.Duration)
+	for _, st := range stats {
+		rep.Requests += st.requests
+		rep.Errors += st.errors
+		rep.Shed += st.shed
+		rep.Hits += st.hits
+		rep.Misses += st.misses
+		for kind, xs := range st.samples {
+			perKind[kind] = append(perKind[kind], xs...)
+			all = append(all, xs...)
+		}
+	}
+	rep.QPS = float64(rep.Requests) / elapsed.Seconds()
+	rep.P50 = percentile(all, 0.50)
+	rep.P99 = percentile(all, 0.99)
+	for kind, xs := range perKind {
+		rep.PerKind[kind] = KindReport{
+			Count: int64(len(xs)),
+			P50:   percentile(xs, 0.50),
+			P99:   percentile(xs, 0.99),
+		}
+	}
+	return rep, nil
+}
+
+// doQuery issues one GET and returns (status, X-Cache state, error).
+func doQuery(ctx context.Context, client *http.Client, url, tenant string) (int, string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, "", err
+	}
+	req.Header.Set("X-Tenant", tenant)
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, "", err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	return resp.StatusCode, resp.Header.Get("X-Cache"), nil
+}
+
+// postDelta sends one random mutation batch to the first configured graph.
+func postDelta(ctx context.Context, cfg LoadConfig, rng *rand.Rand) error {
+	edges := make([][2]uint32, cfg.DeltaEdges)
+	for i := range edges {
+		edges[i] = [2]uint32{uint32(rng.Intn(1 << 12)), uint32(rng.Intn(1 << 12))}
+	}
+	body, err := json.Marshal(deltaRequest{Graph: cfg.Graphs[0].Name, Edges: edges})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+"/delta", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("delta: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// percentile returns the q-quantile of xs by nearest-rank on the sorted
+// samples (zero when empty).
+func percentile(xs []time.Duration, q float64) time.Duration {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(xs))
+	copy(sorted, xs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -1,0 +1,251 @@
+// Package serve is the always-on graph query service: a long-lived HTTP
+// server that loads graphs once into epoch-versioned snapshots and
+// answers many concurrent PageRank / BFS / connected-components /
+// triangle-count / Datalog queries against them, while delta batches
+// keep ingesting.
+//
+// The request pipeline (DESIGN.md §15) is
+//
+//	admission → fair queue → epoch pin → result cache → backend pool
+//
+// Admission is a bounded queue plus a max-in-flight cap: when both are
+// full the request is shed with 429 immediately, so overload degrades
+// into fast rejections instead of collapse. Queued requests are released
+// by per-tenant weighted fair scheduling (start-time fair queuing), so
+// one heavy tenant cannot starve the rest. An admitted query pins the
+// graph's current epoch with a single atomic load — ingestion via
+// ApplyDelta never blocks readers, and a query keeps computing on its
+// pinned snapshot however many epochs advance meanwhile. Results are
+// cached keyed on (graph, epoch, canonical query fingerprint): the epoch
+// in the key means a delta invalidates naturally by changing the key,
+// never by flushing, and because every kernel is pinned bit-identical
+// across worker counts, a cache hit serves the exact bytes a recompute
+// would produce. Misses execute on one shared persistent backend.Pool.
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"graphmaze/internal/backend"
+	"graphmaze/internal/ckpt"
+	"graphmaze/internal/graph"
+	"graphmaze/internal/obs"
+	"graphmaze/internal/par"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the shared backend pool size; 0 means GOMAXPROCS.
+	Workers int
+	// MaxInFlight caps concurrently executing queries (default 2×workers).
+	MaxInFlight int
+	// QueueDepth bounds the admission queue across all tenants; a request
+	// arriving with the queue full is shed with 429 (default 64).
+	QueueDepth int
+	// CacheEntries bounds the result cache (default 512 entries).
+	CacheEntries int
+	// TenantWeights maps tenant names to fair-share weights; unlisted
+	// tenants get weight 1.
+	TenantWeights map[string]float64
+	// Registry receives the service metrics (latency histograms, queue
+	// gauges, shed/cache counters); nil creates a private one.
+	Registry *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 0 // pool resolves to GOMAXPROCS
+	}
+	if c.MaxInFlight <= 0 {
+		w := c.Workers
+		if w <= 0 {
+			w = par.NumWorkers()
+		}
+		c.MaxInFlight = 2 * w
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 512
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return c
+}
+
+// servedGraph is one registered versioned graph plus its per-epoch bound
+// state and persistence accounting.
+type servedGraph struct {
+	name  string
+	v     *graph.Versioned
+	store *ckpt.EpochStore
+
+	// mu guards bound, the lazily built per-epoch derived state (the
+	// PageRank in-CSR and out-degrees). Queries pinned to an older epoch
+	// that lost the race simply rebuild; all epoch state is immutable once
+	// published.
+	mu    sync.Mutex
+	bound *epochState
+}
+
+// epochState is the derived per-epoch state PageRank-shaped queries need.
+// It is immutable once built: a query that grabbed it keeps a consistent
+// view even after the graph advances and the cache slot moves on.
+type epochState struct {
+	epoch  graph.Epoch
+	snap   *graph.Snapshot
+	in     *graph.CSR
+	outDeg []int64
+}
+
+// bind returns the derived state for snap, building (and caching) it if
+// the slot holds a different epoch.
+func (g *servedGraph) bind(snap *graph.Snapshot) *epochState {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.bound != nil && g.bound.epoch == snap.Epoch() {
+		return g.bound
+	}
+	st := &epochState{
+		epoch:  snap.Epoch(),
+		snap:   snap,
+		in:     snap.CSR().Transpose(),
+		outDeg: snap.CSR().OutDegrees(),
+	}
+	g.bound = st
+	return st
+}
+
+// Server is the always-on query service. Create with New, register graphs
+// with AddGraph, mount Handler on a listener, Close when done.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	pool  *backend.Pool
+	adm   *Admission
+	cache *resultCache
+
+	mu     sync.Mutex
+	graphs map[string]*servedGraph
+
+	muxOnce sync.Once
+	mux     *http.ServeMux
+
+	// lane spreads histogram records across the registry's worker lanes;
+	// request goroutines have no natural worker index.
+	lane     atomic.Int64
+	requests atomic.Int64
+	deltas   atomic.Int64
+}
+
+// New builds a server with the given configuration. The caller owns it
+// and must Close it (releasing the worker pool).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		reg:    cfg.Registry,
+		pool:   backend.NewPool(cfg.Workers),
+		cache:  newResultCache(cfg.CacheEntries),
+		graphs: make(map[string]*servedGraph),
+	}
+	s.adm = NewAdmission(AdmissionConfig{
+		MaxInFlight: cfg.MaxInFlight,
+		QueueDepth:  cfg.QueueDepth,
+		Weights:     cfg.TenantWeights,
+		Registry:    cfg.Registry,
+	})
+	s.reg.CounterFunc("serve.requests", s.requests.Load)
+	s.reg.CounterFunc("serve.deltas", s.deltas.Load)
+	s.reg.CounterFunc("serve.cache_hits", s.cache.hits.Load)
+	s.reg.CounterFunc("serve.cache_misses", s.cache.misses.Load)
+	s.reg.Gauge("serve.pool.workers").Set(float64(s.pool.Workers()))
+	return s
+}
+
+// Registry exposes the server's metrics registry (for mounting /metrics
+// or attaching a runtime sampler).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Pool exposes the shared kernel pool (tests and benchmarks).
+func (s *Server) Pool() *backend.Pool { return s.pool }
+
+// Close releases the worker pool. The server must be idle.
+func (s *Server) Close() { s.pool.Close() }
+
+// AddGraph registers a versioned graph under name. Every published epoch
+// (the current one now, each delta's result later) is persisted into the
+// graph's epoch store, whose accounting /graphs reports.
+func (s *Server) AddGraph(name string, v *graph.Versioned) error {
+	if name == "" || v == nil {
+		return fmt.Errorf("serve: AddGraph needs a name and a graph")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.graphs[name]; ok {
+		return fmt.Errorf("serve: graph %q already registered", name)
+	}
+	g := &servedGraph{name: name, v: v, store: ckpt.NewEpochStore(ckpt.Config{})}
+	if _, _, err := g.store.Save(v.Current(), 1); err != nil {
+		return fmt.Errorf("serve: persisting %q epoch %d: %w", name, v.Epoch(), err)
+	}
+	s.graphs[name] = g
+	s.reg.Gauge("serve.graph." + name + ".epoch").Set(float64(v.Epoch()))
+	return nil
+}
+
+// Graph returns the registered versioned graph by name (snapshot saving,
+// tests).
+func (s *Server) Graph(name string) (*graph.Versioned, bool) {
+	g, ok := s.graphByName(name)
+	if !ok {
+		return nil, false
+	}
+	return g.v, true
+}
+
+// graphByName looks up a registered graph.
+func (s *Server) graphByName(name string) (*servedGraph, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.graphs[name]
+	return g, ok
+}
+
+// graphNames returns the registered names sorted (deterministic listings).
+func (s *Server) graphNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.graphs))
+	for name := range s.graphs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Handler returns the service mux: query and ingestion endpoints plus the
+// obs diagnostics (/metrics, /metrics.json, /debug/pprof/) mounted on the
+// same mux — one listener, one port.
+func (s *Server) Handler() http.Handler {
+	s.muxOnce.Do(func() {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/query/", s.handleQuery)
+		mux.HandleFunc("/delta", s.handleDelta)
+		mux.HandleFunc("/graphs", s.handleGraphs)
+		mux.HandleFunc("/healthz", s.handleHealthz)
+		obs.MuxOn(mux, s.reg)
+		mux.HandleFunc("/", s.handleIndex)
+		s.mux = mux
+	})
+	return s.mux
+}
+
+// nextLane picks a histogram lane for the calling request goroutine.
+func (s *Server) nextLane() int { return int(s.lane.Add(1)) }

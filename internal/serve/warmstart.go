@@ -1,0 +1,49 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+
+	"graphmaze/internal/graph"
+)
+
+// SaveSnapshotFile persists one epoch snapshot to path using the graph
+// codec. The file round-trips the epoch number, so a warm-started service
+// resumes delta numbering where the previous process stopped.
+func SaveSnapshotFile(path string, snap *graph.Snapshot) error {
+	blob, err := graph.EncodeSnapshot(nil, snap)
+	if err != nil {
+		return fmt.Errorf("serve: encoding snapshot: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadSnapshotFile decodes a snapshot persisted by SaveSnapshotFile.
+func LoadSnapshotFile(path string) (*graph.Snapshot, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	snap, rest, err := graph.DecodeSnapshot(blob)
+	if err != nil {
+		return nil, fmt.Errorf("serve: decoding %s: %w", path, err)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("serve: %s has %d trailing bytes after the snapshot", path, len(rest))
+	}
+	return snap, nil
+}
+
+// WarmStart resumes a versioned graph from a persisted snapshot file:
+// the startup path that skips rebuilding from edge lists entirely.
+func WarmStart(path string, opts graph.DeltaOptions) (*graph.Versioned, error) {
+	snap, err := LoadSnapshotFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return graph.ResumeVersioned(snap, opts)
+}
